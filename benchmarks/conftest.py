@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``benchmarks/test_<exhibit>.py`` module regenerates one table or
+figure of the paper: the ``benchmark`` fixture times that exhibit's key
+computation, and companion assertions pin the qualitative shape the paper
+reports (who wins, how trends move).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import build_model
+from repro.tasks import make_needle_case
+
+
+@pytest.fixture(scope="session")
+def glm_mini():
+    return build_model("glm-mini")
+
+
+@pytest.fixture(scope="session")
+def intern_mini():
+    return build_model("intern-mini")
+
+
+@pytest.fixture(scope="session")
+def needle_1k():
+    return make_needle_case(1024, 0.5, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def layer_qkv(glm_mini, needle_1k):
+    """Layer-1 rotated q/k/v of glm-mini on a 1K needle prompt."""
+    x = glm_mini.embed(needle_1k.prompt)
+    layer = glm_mini.layers[1]
+    q, k, v = layer.project_qkv(x, np.arange(needle_1k.prompt.size))
+    return q, k, v, 1.0 / np.sqrt(glm_mini.config.d_head)

@@ -1,0 +1,35 @@
+"""Figure 4 bench: Needle-in-a-Haystack per method.
+
+Times one needle evaluation per method and asserts the paper's headline
+pattern: SampleAttention matches full attention at every depth while the
+sink+window baseline only answers needles inside its window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import make_backend
+from repro.tasks import evaluate_case, make_needle_case
+
+
+@pytest.mark.parametrize("method", ["full", "sample_attention", "streaming_llm"])
+def test_fig4_needle_latency(benchmark, glm_mini, method):
+    case = make_needle_case(1024, 0.5, rng=np.random.default_rng(1))
+    backend = make_backend(method)
+    benchmark.pedantic(
+        evaluate_case, args=(glm_mini, backend, case), rounds=2, iterations=1
+    )
+
+
+def test_fig4_depth_profile(glm_mini):
+    depths = (0.1, 0.5, 0.9)
+    scores = {m: [] for m in ("full", "sample_attention", "streaming_llm")}
+    for j, d in enumerate(depths):
+        case = make_needle_case(896, d, rng=np.random.default_rng(10 + j))
+        for m in scores:
+            scores[m].append(evaluate_case(glm_mini, make_backend(m), case).score)
+    assert scores["full"] == [100.0] * 3
+    assert scores["sample_attention"] == [100.0] * 3
+    # Sink+window cannot reach mid-context needles.
+    assert scores["streaming_llm"][0] == 0.0
+    assert scores["streaming_llm"][1] == 0.0

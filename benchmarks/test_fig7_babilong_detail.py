@@ -1,0 +1,35 @@
+"""Figure 7 bench: BABILong generative tasks per model."""
+
+import numpy as np
+import pytest
+
+from repro.harness import make_backend
+from repro.tasks import evaluate_case, make_babilong_case
+
+
+@pytest.mark.parametrize("task", ["qa1", "qa2"])
+def test_fig7_babilong_latency(benchmark, glm_mini, task):
+    case = make_babilong_case(task, 768, rng=np.random.default_rng(3))
+    backend = make_backend("sample_attention")
+    res = benchmark.pedantic(
+        evaluate_case, args=(glm_mini, backend, case), rounds=2, iterations=1
+    )
+    assert res.score == 100.0
+
+
+def test_fig7_both_models_solve_chains(glm_mini, intern_mini):
+    for model in (glm_mini, intern_mini):
+        case = make_babilong_case("qa2", 896, rng=np.random.default_rng(9))
+        full = evaluate_case(model, make_backend("full"), case)
+        samp = evaluate_case(model, make_backend("sample_attention"), case)
+        assert full.score == samp.score == 100.0
+
+
+def test_fig7_streaming_degrades(glm_mini):
+    scores = []
+    for i in range(3):
+        case = make_babilong_case("qa3", 896, rng=np.random.default_rng(20 + i))
+        scores.append(
+            evaluate_case(glm_mini, make_backend("streaming_llm"), case).score
+        )
+    assert np.mean(scores) < 60.0

@@ -1,0 +1,34 @@
+"""Figure 8 bench: needle scores vs length per model."""
+
+import numpy as np
+import pytest
+
+from repro.harness import make_backend
+from repro.tasks import evaluate_case, make_needle_case
+
+
+@pytest.mark.parametrize("length", [512, 1024, 2048])
+def test_fig8_length_scaling_latency(benchmark, glm_mini, length):
+    case = make_needle_case(length, 0.5, rng=np.random.default_rng(length))
+    backend = make_backend("sample_attention")
+    res = benchmark.pedantic(
+        evaluate_case, args=(glm_mini, backend, case), rounds=2, iterations=1
+    )
+    assert res.score == 100.0
+
+
+def test_fig8_sample_holds_across_lengths_and_models(glm_mini, intern_mini):
+    for model in (glm_mini, intern_mini):
+        for length in (640, 1536):
+            case = make_needle_case(length, 0.6, rng=np.random.default_rng(7))
+            res = evaluate_case(model, make_backend("sample_attention"), case)
+            assert res.score == 100.0
+
+
+def test_fig8_sparsity_improves_with_length(glm_mini):
+    densities = []
+    for length in (512, 2048):
+        case = make_needle_case(length, 0.5, rng=np.random.default_rng(2))
+        res = evaluate_case(glm_mini, make_backend("sample_attention"), case)
+        densities.append(res.mean_density)
+    assert densities[1] <= densities[0] + 0.05

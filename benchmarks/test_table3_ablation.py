@@ -1,0 +1,52 @@
+"""Table 3 bench: hyperparameter ablation (alpha, window ratio, sampling
+ratio) -- times the planning stage at each setting and asserts the paper's
+monotone trade-offs."""
+
+import numpy as np
+import pytest
+
+from repro import SampleAttentionConfig
+from repro.backends import SampleAttentionBackend
+from repro.core import plan_sample_attention
+from repro.tasks import evaluate_case, make_needle_case
+
+
+@pytest.mark.parametrize("alpha", [0.80, 0.90, 0.95, 0.98])
+def test_table3_alpha_planning(benchmark, layer_qkv, alpha):
+    q, k, _, scale = layer_qkv
+    plan = benchmark(
+        plan_sample_attention, q, k, SampleAttentionConfig(alpha=alpha), scale=scale
+    )
+    assert 0.0 < plan.element_density() <= 1.0
+
+
+def test_table3_alpha_tradeoff(layer_qkv):
+    """Larger alpha keeps more KV (less speedup, more accuracy headroom)."""
+    q, k, _, scale = layer_qkv
+    densities = [
+        plan_sample_attention(
+            q, k, SampleAttentionConfig(alpha=a), scale=scale
+        ).element_density()
+        for a in (0.80, 0.90, 0.95, 0.98)
+    ]
+    assert densities == sorted(densities)
+
+
+@pytest.mark.parametrize("r_row", [0.02, 0.05, 0.10])
+def test_table3_sampling_ratio_planning(benchmark, layer_qkv, r_row):
+    q, k, _, scale = layer_qkv
+    plan = benchmark(
+        plan_sample_attention, q, k, SampleAttentionConfig(r_row=r_row), scale=scale
+    )
+    assert plan.sampled_rows.size == int(np.ceil(r_row * q.shape[1]))
+
+
+def test_table3_window_accuracy(glm_mini):
+    """Halving the window ratio must not improve accuracy (paper: r_w=4%
+    loses >6% on window-critical tasks)."""
+    case = make_needle_case(1024, 0.97, rng=np.random.default_rng(4))
+    scores = {}
+    for r_w in (0.04, 0.08):
+        backend = SampleAttentionBackend(SampleAttentionConfig(r_window=r_w))
+        scores[r_w] = evaluate_case(glm_mini, backend, case).score
+    assert scores[0.04] <= scores[0.08]

@@ -1,0 +1,34 @@
+"""Table 5 bench: sparsity degree vs sequence length at three alphas."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import model_sparsity_sweep_multi
+from repro.tasks import make_needle_case
+
+
+ALPHAS = (0.90, 0.95, 0.98)
+
+
+def test_table5_sweep_benchmark(benchmark, glm_mini, needle_1k):
+    sweeps = benchmark(
+        model_sparsity_sweep_multi, glm_mini, needle_1k.prompt, ALPHAS
+    )
+    # A smaller alpha always allows at least as much sparsity.
+    assert sweeps[0.90].mean >= sweeps[0.95].mean >= sweeps[0.98].mean
+
+
+def test_table5_sd_grows_with_length(glm_mini):
+    means = []
+    for s in (512, 2048):
+        case = make_needle_case(s, 0.5, rng=np.random.default_rng(7))
+        sweeps = model_sparsity_sweep_multi(glm_mini, case.prompt, (0.95,))
+        means.append(sweeps[0.95].mean)
+    assert means[1] >= means[0]
+
+
+def test_table5_magnitude_matches_paper_band(glm_mini, needle_1k):
+    """Paper (4K, alpha=0.95): 88.0%.  The substrate should land in the
+    high-sparsity band at comparable relative scale."""
+    sweeps = model_sparsity_sweep_multi(glm_mini, needle_1k.prompt, (0.95,))
+    assert 0.75 < sweeps[0.95].mean < 0.99

@@ -1,0 +1,36 @@
+"""Project paper-scale latency savings with the A100 cost model.
+
+Regenerates the quantitative story of the paper's Figures 1, 5 and 6 and
+Table 4: how attention comes to dominate TTFT as contexts grow, and how
+much SampleAttention claws back at each CRA threshold.
+
+Run:  python examples/latency_projection.py            (instant)
+"""
+
+from repro.perf import CHATGLM2_6B, INTERNLM2_7B, LatencyModel
+
+for arch in (CHATGLM2_6B, INTERNLM2_7B):
+    model = LatencyModel(arch)
+    print(f"== {arch.name} on A100-80GB (single GPU, cost model)")
+    print(
+        f"{'seq_len':>9}  {'flash_attn':>10}  {'sample a=.95':>12}  "
+        f"{'sample a=.80':>12}  {'attn share':>10}  {'TTFT x (.95/.80)':>17}"
+    )
+    for s in (8192, 32768, 98304, 262144, 1048576):
+        flash = model.attention_latency(s, "flash").seconds
+        s95 = model.attention_latency(s, "sample", alpha=0.95).seconds
+        s80 = model.attention_latency(s, "sample", alpha=0.80).seconds
+        share = model.attention_share(s)
+        t95 = model.ttft_speedup_vs_flash(s, alpha=0.95)
+        t80 = model.ttft_speedup_vs_flash(s, alpha=0.80)
+        print(
+            f"{s:>9,}  {flash:>9.2f}s  {s95:>11.2f}s  {s80:>11.2f}s  "
+            f"{100 * share:>9.1f}%  {t95:>7.2f} / {t80:.2f}"
+        )
+    print()
+
+print(
+    "Paper anchors: at 96K the attention stack speeds up 2.20x (alpha=0.95)\n"
+    "and 5.12x (alpha=0.80) over FlashAttention2, cutting TTFT by 1.62x and\n"
+    "2.28x; scaling to 1M tokens pushes TTFT reductions to 2.27x / 4.62x."
+)

@@ -1,0 +1,43 @@
+"""Needle-in-a-Haystack across attention methods (paper Figure 4, small).
+
+Runs the constructed glm-mini backbone on a depth sweep of needle-retrieval
+prompts under full attention, SampleAttention, and the sparse baselines,
+printing a small score grid -- the textual version of the paper's needle
+heatmaps.
+
+Run:  python examples/needle_in_haystack.py           (~2 min on one core)
+"""
+
+import numpy as np
+
+from repro.harness import make_backend
+from repro.model import build_model
+from repro.tasks import evaluate_case, make_needle_case
+
+LENGTHS = (640, 1280)
+DEPTHS = np.linspace(0.0, 1.0, 5)
+METHODS = ("full", "sample_attention", "bigbird", "streaming_llm")
+
+model = build_model("glm-mini")
+print(f"model: {model.config.name}  ({model.weights.num_parameters():,} params)\n")
+
+header = "method            len   " + "  ".join(f"d={d:.2f}" for d in DEPTHS)
+print(header)
+print("-" * len(header))
+for method in METHODS:
+    backend = make_backend(method)
+    for length in LENGTHS:
+        scores = []
+        for j, depth in enumerate(DEPTHS):
+            case = make_needle_case(
+                length, float(depth), rng=np.random.default_rng((length, j))
+            )
+            scores.append(evaluate_case(model, backend, case).score)
+        row = "  ".join(f"{s:6.0f}" for s in scores)
+        print(f"{method:16s} {length:5d}  {row}")
+
+print(
+    "\nReading: 100 = exact retrieval. SampleAttention matches full "
+    "attention at every depth; StreamingLLM only answers needles inside "
+    "its sink+window; BigBird's random blocks catch some needles by luck."
+)

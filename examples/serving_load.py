@@ -1,0 +1,37 @@
+"""Serving under load: how prefill speedups compound through queueing.
+
+Simulates a Poisson stream of long-context requests hitting one TP=4
+replica (the paper's Table 4 serving configuration) with FlashAttention vs
+SampleAttention prefill. The single-request TTFT win multiplies at the p95
+because a faster prefill also drains the queue for everyone behind it.
+
+Run:  python examples/serving_load.py                  (instant)
+"""
+
+import numpy as np
+
+from repro.perf import CHATGLM2_6B, LatencyModel
+from repro.serving import ServingSimulator, poisson_workload
+
+lm = LatencyModel(CHATGLM2_6B, tensor_parallel=4)
+rng = np.random.default_rng(0)
+
+print("Poisson arrivals of 32K/64K/96K prompts, one TP=4 A100 replica\n")
+print(f"{'load (req/s)':>12}  {'method':<14} {'mean TTFT':>9}  {'p95 TTFT':>9}")
+for rate in (0.08, 0.15, 0.25):
+    requests = poisson_workload(rng, rate_per_s=rate, duration_s=300)
+    for method, alpha in (("flash", 0.95), ("sample", 0.95), ("sample", 0.80)):
+        sim = ServingSimulator(lm, method=method, alpha=alpha)
+        summ = sim.summarize(sim.run(requests))
+        label = "flash" if method == "flash" else f"sample a={alpha}"
+        print(
+            f"{rate:>12.2f}  {label:<14} {summ['mean_ttft_s']:>8.2f}s "
+            f"{summ['p95_ttft_s']:>8.2f}s"
+        )
+    print()
+
+print(
+    "At light load the gap equals the single-request prefill speedup; as\n"
+    "utilisation rises, queueing amplifies it -- the system-level payoff\n"
+    "of accelerating prefill that single-request benchmarks understate."
+)

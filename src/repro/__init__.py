@@ -1,0 +1,36 @@
+"""SampleAttention reproduction.
+
+A from-scratch, pure-NumPy implementation of *SampleAttention: Near-Lossless
+Acceleration of Long Context LLM Inference with Adaptive Structured Sparse
+Attention* (MLSys 2025) and of every substrate the paper's evaluation needs:
+attention kernels, sparse baselines, a constructed long-context transformer,
+synthetic long-context task suites, sparsity analysis, and an A100 roofline
+performance model.
+
+Quickstart::
+
+    import numpy as np
+    from repro import sample_attention, SampleAttentionConfig
+
+    rng = np.random.default_rng(0)
+    q = rng.standard_normal((8, 1024, 64), dtype=np.float32)
+    k = rng.standard_normal((8, 1024, 64), dtype=np.float32)
+    v = rng.standard_normal((8, 1024, 64), dtype=np.float32)
+    out = sample_attention(q, k, v, SampleAttentionConfig(alpha=0.95))
+    print(out.plan.summary())
+"""
+
+from .config import DEFAULT_CONFIG, SampleAttentionConfig
+from .core import plan_sample_attention, sample_attention
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DEFAULT_CONFIG",
+    "SampleAttentionConfig",
+    "plan_sample_attention",
+    "sample_attention",
+    "ReproError",
+]

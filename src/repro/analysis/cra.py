@@ -1,0 +1,106 @@
+"""Cumulative residual attention (CRA) -- paper Definition 2.
+
+``CRA(M) = min_i sum_j (M * P)_{ij}``: the *worst row's* retained
+probability mass after sparsification.  The paper uses the minimum (not the
+mean) so that even the least-covered query is near-losslessly recovered;
+Lemma 1 ties it to the output error bound of Theorem 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["cra", "stripe_mask_from_indices", "topk_stripe_cra"]
+
+
+def _as_heads(probs: np.ndarray) -> np.ndarray:
+    if probs.ndim == 2:
+        return probs[None]
+    if probs.ndim == 3:
+        return probs
+    raise ShapeError(f"probs must be (S_q, S_k) or (H, S_q, S_k), got rank {probs.ndim}")
+
+
+def cra(probs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """CRA of ``mask`` w.r.t. attention probabilities ``probs``.
+
+    Parameters
+    ----------
+    probs:
+        ``(H, S_q, S_k)`` or ``(S_q, S_k)`` row-stochastic attention scores
+        (rows of a causal matrix sum to 1 over the visible prefix).
+    mask:
+        Boolean, broadcastable to ``probs``; ``True`` = keep.
+
+    Returns
+    -------
+    ``(H,)`` minimum retained row mass per head.
+    """
+    p = _as_heads(probs)
+    if mask.dtype != np.bool_:
+        raise ShapeError(f"mask must be boolean, got {mask.dtype}")
+    kept = np.where(mask, p, 0.0)
+    return kept.sum(axis=-1).min(axis=-1)
+
+
+def stripe_mask_from_indices(
+    s_q: int,
+    s_k: int,
+    kv_indices: np.ndarray,
+    *,
+    window: int = 0,
+) -> np.ndarray:
+    """Elementwise mask for a column-stripe set plus an optional causal
+    local window -- the structured mask shape of Equation 5."""
+    mask = np.zeros((s_q, s_k), dtype=bool)
+    idx = np.asarray(kv_indices, dtype=np.int64)
+    if idx.size:
+        if idx.min() < 0 or idx.max() >= s_k:
+            raise ShapeError(f"kv index out of range [0, {s_k})")
+        mask[:, idx] = True
+    if window > 0:
+        offset = s_k - s_q
+        rows = np.arange(s_q)[:, None] + offset
+        cols = np.arange(s_k)[None, :]
+        mask |= (cols <= rows) & (cols > rows - window)
+    # Causality: positions above the diagonal carry no probability anyway,
+    # but masking them keeps CRA independent of how probs were padded.
+    offset = s_k - s_q
+    rows = np.arange(s_q)[:, None] + offset
+    cols = np.arange(s_k)[None, :]
+    return mask & (cols <= rows)
+
+
+def topk_stripe_cra(
+    probs: np.ndarray,
+    ratios: list[float],
+    *,
+    window: int = 0,
+) -> np.ndarray:
+    """CRA achieved by keeping the top-k column stripes at several ratios
+    (paper Figure 2e / Table 6).
+
+    For each head, columns are ranked by total column mass (the stage-2
+    statistic at 100% sampling); for each ratio ``r`` the top ``ceil(r *
+    S_k)`` columns are kept (optionally unioned with a local window) and the
+    CRA recorded.
+
+    Returns ``(H, len(ratios))``.
+    """
+    p = _as_heads(probs)
+    h, s_q, s_k = p.shape
+    out = np.empty((h, len(ratios)), dtype=np.float64)
+    col_mass = p.sum(axis=1)  # (H, S_k)
+    order = np.argsort(-col_mass, axis=1, kind="stable")
+    for hh in range(h):
+        for j, r in enumerate(ratios):
+            if not 0.0 <= r <= 1.0:
+                raise ShapeError(f"ratio must be in [0, 1], got {r}")
+            k = int(np.ceil(r * s_k))
+            mask = stripe_mask_from_indices(
+                s_q, s_k, order[hh, :k], window=window
+            )
+            out[hh, j] = cra(p[hh], mask)[0]
+    return out

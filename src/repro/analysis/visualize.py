@@ -1,0 +1,71 @@
+"""Text rendering of attention patterns (Figures 2d, 9, 10 analogues).
+
+GPU papers show heatmap images; a terminal-first library renders the same
+information as ASCII density maps: the score matrix is pooled into a small
+grid and each cell mapped to a glyph ramp.  Diagonal bands (local windows),
+vertical lines (column stripes) and the leftmost column (sink) are clearly
+visible at 48x48 resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+
+__all__ = ["pool_matrix", "ascii_heatmap", "attention_heatmap"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def pool_matrix(matrix: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Mean-pool a 2-D matrix to ``(rows, cols)`` (edge cells may pool
+    fewer elements)."""
+    if matrix.ndim != 2:
+        raise ShapeError(f"matrix must be 2-D, got rank {matrix.ndim}")
+    if rows < 1 or cols < 1:
+        raise ConfigError("rows and cols must be >= 1")
+    s_q, s_k = matrix.shape
+    r_edges = np.linspace(0, s_q, rows + 1).astype(np.int64)
+    c_edges = np.linspace(0, s_k, cols + 1).astype(np.int64)
+    out = np.zeros((rows, cols), dtype=np.float64)
+    for i in range(rows):
+        r0, r1 = r_edges[i], max(r_edges[i + 1], r_edges[i] + 1)
+        block = matrix[r0:r1]
+        for j in range(cols):
+            c0, c1 = c_edges[j], max(c_edges[j + 1], c_edges[j] + 1)
+            out[i, j] = float(block[:, c0:c1].mean())
+    return out
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    *,
+    rows: int = 32,
+    cols: int = 64,
+    log_scale: bool = True,
+) -> str:
+    """Render a matrix as an ASCII density map.
+
+    ``log_scale`` compresses the enormous dynamic range of softmax scores
+    (sink columns otherwise saturate everything else to the lowest glyph).
+    """
+    pooled = pool_matrix(np.asarray(matrix, dtype=np.float64), rows, cols)
+    if log_scale:
+        pooled = np.log10(pooled + 1e-8)
+    lo, hi = pooled.min(), pooled.max()
+    span = hi - lo if hi > lo else 1.0
+    levels = ((pooled - lo) / span * (len(_RAMP) - 1)).round().astype(int)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in levels)
+
+
+def attention_heatmap(
+    probs: np.ndarray,
+    head: int = 0,
+    *,
+    rows: int = 32,
+    cols: int = 64,
+) -> str:
+    """ASCII heatmap of one head's ``(S_q, S_k)`` attention probabilities."""
+    p = probs if probs.ndim == 2 else probs[head]
+    return ascii_heatmap(p, rows=rows, cols=cols)

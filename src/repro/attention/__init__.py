@@ -1,0 +1,59 @@
+"""Attention substrate: dense reference, FlashAttention-style tiled kernel,
+block-sparse kernel, and block-mask construction.
+
+Public API::
+
+    from repro.attention import (
+        dense_attention, attention_probs,   # gold-standard quadratic kernel
+        flash_attention,                    # tiled online-softmax reference
+        block_sparse_attention,             # masked tiled kernel
+        BlockMask, causal_block_mask, ...   # block-level mask algebra
+    )
+"""
+
+from .blocksparse import BlockSparseResult, block_sparse_attention
+from .dense import DenseAttentionResult, attention_probs, dense_attention
+from .flash import flash_attention
+from .striped import (
+    StripedAttentionResult,
+    striped_attention,
+    striped_element_counts,
+)
+from .masks import (
+    BlockMask,
+    block_diagonal_mask,
+    causal_block_mask,
+    dense_rows_block_mask,
+    global_block_mask,
+    num_blocks,
+    random_block_mask,
+    sink_block_mask,
+    stripe_block_mask,
+    window_block_mask,
+)
+from .utils import causal_mask, expand_kv, softmax
+
+__all__ = [
+    "DenseAttentionResult",
+    "dense_attention",
+    "attention_probs",
+    "flash_attention",
+    "BlockSparseResult",
+    "block_sparse_attention",
+    "StripedAttentionResult",
+    "striped_attention",
+    "striped_element_counts",
+    "BlockMask",
+    "num_blocks",
+    "causal_block_mask",
+    "window_block_mask",
+    "stripe_block_mask",
+    "sink_block_mask",
+    "global_block_mask",
+    "random_block_mask",
+    "dense_rows_block_mask",
+    "block_diagonal_mask",
+    "causal_mask",
+    "expand_kv",
+    "softmax",
+]

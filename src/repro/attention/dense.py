@@ -1,0 +1,105 @@
+"""Dense (vanilla) attention -- the SDPA baseline and numerical gold standard.
+
+This module materialises the full ``(H, S_q, S_k)`` score matrix, which is
+exactly the quadratic cost the paper sets out to avoid; every other kernel in
+the package is validated against this implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MaskError
+from .utils import causal_mask, expand_kv, masked_row_softmax, validate_qkv
+
+__all__ = ["DenseAttentionResult", "dense_attention", "attention_probs"]
+
+
+@dataclass(frozen=True)
+class DenseAttentionResult:
+    """Output of :func:`dense_attention`.
+
+    Attributes
+    ----------
+    output:
+        ``(H, S_q, d)`` attention output ``P @ V``.
+    probs:
+        ``(H, S_q, S_k)`` post-softmax attention probabilities, or ``None``
+        when ``return_probs=False`` was requested (saves O(S^2) memory).
+    """
+
+    output: np.ndarray
+    probs: np.ndarray | None
+
+
+def dense_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    causal: bool = True,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+    return_probs: bool = False,
+) -> DenseAttentionResult:
+    """Vanilla scaled-dot-product attention (Equation 1 of the paper).
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(H, S_q, d)`` / ``(H_kv, S_k, d)`` arrays; GQA is handled by
+        repeating KV heads.
+    causal:
+        Apply the right-aligned causal mask.
+    mask:
+        Optional extra boolean mask, ``(S_q, S_k)`` or ``(H, S_q, S_k)``,
+        ``True`` = attend.  Combined (AND) with the causal mask.
+    scale:
+        Logit scale; defaults to ``1/sqrt(d)``.
+    return_probs:
+        Also return the probability matrix ``P`` (needed by the analysis
+        module; expensive at long sequence lengths).
+    """
+    h, h_kv, s_q, s_k, d = validate_qkv(q, k, v)
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    k_full = expand_kv(k, h // h_kv)
+    v_full = expand_kv(v, h // h_kv)
+
+    scores = np.einsum("hqd,hkd->hqk", q, k_full, optimize=True) * np.float32(scale)
+
+    keep = causal_mask(s_q, s_k) if causal else np.ones((s_q, s_k), dtype=bool)
+    if mask is not None:
+        if mask.dtype != np.bool_:
+            raise MaskError(f"mask must be boolean, got dtype {mask.dtype}")
+        if mask.shape == (s_q, s_k):
+            keep = keep & mask
+        elif mask.shape == (h, s_q, s_k):
+            keep = keep[None] & mask
+        else:
+            raise MaskError(
+                f"mask shape {mask.shape} incompatible with (H={h}, S_q={s_q}, S_k={s_k})"
+            )
+
+    probs = masked_row_softmax(scores, keep)
+    out = np.einsum("hqk,hkd->hqd", probs, v_full, optimize=True)
+    return DenseAttentionResult(
+        output=out.astype(q.dtype, copy=False),
+        probs=probs if return_probs else None,
+    )
+
+
+def attention_probs(
+    q: np.ndarray,
+    k: np.ndarray,
+    *,
+    causal: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Return only the ``(H, S_q, S_k)`` probability matrix ``P``.
+
+    Convenience wrapper used heavily by :mod:`repro.analysis`.
+    """
+    return dense_attention(q, k, k, causal=causal, scale=scale, return_probs=True).probs

@@ -1,0 +1,303 @@
+"""Window + column-stripe attention kernel with gathered KV columns.
+
+This is the execution engine matching SampleAttention's structured mask
+(paper Figure 3, step 3).  The two patterns need different tiling:
+
+* the **local window** is a diagonal band -- tiles along the diagonal,
+  masked elementwise to the band;
+* the **column stripes** are arbitrary per-head key indices ``I_KV`` --
+  a GPU kernel *gathers* those K/V columns into packed tiles, so its cost is
+  proportional to ``|I_KV|``, not to how many aligned blocks the scattered
+  indices would touch.  We reproduce the gather with fancy indexing.
+
+Double counting is avoided by partitioning the causal plane per row ``i``:
+the band owns ``j in (i - window, i]``, the stripes own selected ``j <=
+i - window``.  An optional "bottom area" (the paper's dense last rows) owns
+everything for the trailing rows.  The kernel reports exactly how many
+score elements it computed, the quantity the performance model bills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, MaskError
+from .utils import NEG_INF, expand_kv, validate_qkv
+
+__all__ = ["StripedAttentionResult", "striped_attention", "striped_element_counts"]
+
+
+@dataclass(frozen=True)
+class StripedAttentionResult:
+    """Output of :func:`striped_attention`.
+
+    Attributes
+    ----------
+    output:
+        ``(H, S_q, d)`` attention output.
+    computed_elements:
+        ``(H,)`` number of score entries actually computed per head.
+    total_causal_elements:
+        Entries a dense causal kernel computes (per head).
+    """
+
+    output: np.ndarray
+    computed_elements: np.ndarray
+    total_causal_elements: int
+
+    @property
+    def density(self) -> float:
+        """Mean achieved element density relative to dense causal."""
+        if self.total_causal_elements == 0:
+            return 0.0
+        return float(self.computed_elements.mean() / self.total_causal_elements)
+
+
+def normalise_bands(
+    window: int, bands: list[tuple[int, int]] | None
+) -> list[tuple[int, int]]:
+    """Merge the window with extra diagonal bands into disjoint, sorted
+    relative-distance intervals ``[d_lo, d_hi)``.
+
+    A band covers key ``j`` for query row ``i`` iff ``d_lo <= i - j < d_hi``;
+    the local window is the interval ``[0, window)``.  Extra bands capture
+    *diagonal* score patterns at non-zero offsets (paper Appendix A.6's
+    "other pattern" future work).  Overlapping or adjacent intervals are
+    merged so ownership is unambiguous and counts stay additive.
+    """
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window}")
+    intervals = [(0, int(window))]
+    for d_lo, d_hi in bands or ():
+        if d_lo < 0 or d_hi <= d_lo:
+            raise ConfigError(f"invalid band ({d_lo}, {d_hi}): need 0 <= lo < hi")
+        intervals.append((int(d_lo), int(d_hi)))
+    intervals.sort()
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        if lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _in_any_band(distance: np.ndarray, bands: list[tuple[int, int]]) -> np.ndarray:
+    """Boolean array: is each (non-negative) distance inside some band?"""
+    hit = np.zeros(distance.shape, dtype=bool)
+    for d_lo, d_hi in bands:
+        hit |= (distance >= d_lo) & (distance < d_hi)
+    return hit
+
+
+def _normalise_indices(
+    kv_indices: list[np.ndarray], h: int, s_k: int, sink_tokens: int
+) -> list[np.ndarray]:
+    if len(kv_indices) != h:
+        raise MaskError(f"got {len(kv_indices)} stripe sets for {h} heads")
+    sinks = np.arange(min(max(sink_tokens, 0), s_k), dtype=np.int64)
+    out = []
+    for hh, idx in enumerate(kv_indices):
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= s_k):
+            raise MaskError(f"head {hh}: stripe index out of range [0, {s_k})")
+        out.append(np.union1d(idx, sinks))
+    return out
+
+
+def striped_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    window: int,
+    kv_indices: list[np.ndarray],
+    *,
+    sink_tokens: int = 0,
+    dense_last_rows: int = 0,
+    scale: float | None = None,
+    block_size: int = 128,
+    bands: list[tuple[int, int]] | None = None,
+) -> StripedAttentionResult:
+    """Causal attention over (bands) ∪ (per-head stripes) ∪ (sinks).
+
+    Equivalent to dense attention under the corresponding elementwise mask;
+    the kernel tests assert this to float32 tolerance.
+
+    Parameters
+    ----------
+    window:
+        Local-band width in tokens: row ``i`` owns keys ``(i - window, i]``.
+        ``window >= 1`` is required so every row can attend to itself.
+    kv_indices:
+        Per-head sorted stripe key indices (stage-2 output).
+    sink_tokens:
+        Leading columns merged into every head's stripe set.
+    dense_last_rows:
+        Trailing query rows attending to all causal keys (bottom area).
+    bands:
+        Extra relative-distance intervals ``(d_lo, d_hi)`` capturing
+        *diagonal* patterns (Appendix A.6 extension); merged with the
+        window into disjoint intervals so no element is double-counted.
+    """
+    h, h_kv, s_q, s_k, d = validate_qkv(q, k, v)
+    if block_size < 1:
+        raise ConfigError(f"block_size must be >= 1, got {block_size}")
+    intervals = normalise_bands(window, bands)
+    stripes = _normalise_indices(kv_indices, h, s_k, sink_tokens)
+
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    scale = np.float32(scale)
+    offset = s_k - s_q
+    dense_row_start = s_q - min(max(dense_last_rows, 0), s_q)
+
+    kf = expand_kv(k, h // h_kv).astype(np.float32, copy=False)
+    vf = expand_kv(v, h // h_kv).astype(np.float32, copy=False)
+    qf = q.astype(np.float32, copy=False)
+
+    out = np.zeros((h, s_q, d), dtype=np.float32)
+    computed = np.zeros(h, dtype=np.int64)
+
+    for q0 in range(0, s_q, block_size):
+        q1 = min(q0 + block_size, s_q)
+        bq = q1 - q0
+        q_tile = qf[:, q0:q1]
+        rows = np.arange(q0, q1, dtype=np.int64)[:, None] + offset  # abs pos
+        is_dense_row = (np.arange(q0, q1) >= dense_row_start)[:, None]
+        any_dense = bool(is_dense_row.any())
+
+        m = np.full((h, bq), NEG_INF, dtype=np.float32)
+        l = np.zeros((h, bq), dtype=np.float32)
+        acc = np.zeros((h, bq, d), dtype=np.float32)
+
+        def _accumulate(heads: np.ndarray, s: np.ndarray, v_part: np.ndarray) -> None:
+            """Online-softmax update for a score slab ``(len(heads), bq, n)``."""
+            nonlocal m, l, acc
+            m_new = np.maximum(m[heads], np.max(s, axis=-1))
+            alpha = np.exp(m[heads] - m_new)
+            p = np.exp(s - m_new[..., None])
+            l[heads] = l[heads] * alpha + np.sum(p, axis=-1)
+            acc[heads] = acc[heads] * alpha[..., None] + p @ v_part
+            m[heads] = m_new
+
+        all_heads = np.arange(h)
+
+        # ---- dense bottom rows: full causal slab.
+        if any_dense:
+            k_hi = min(s_k, q1 + offset)
+            cols = np.arange(0, k_hi, dtype=np.int64)[None, :]
+            keep = (cols <= rows) & is_dense_row
+            if keep.any():
+                s = np.einsum(
+                    "hqd,hkd->hqk", q_tile, kf[:, :k_hi], optimize=True
+                ) * scale
+                s = np.where(keep[None], s, NEG_INF)
+                _accumulate(all_heads, s, vf[:, :k_hi])
+                computed += int(keep.sum())
+
+        # ---- band parts: one contiguous key slab per distance interval.
+        for d_lo, d_hi in intervals:
+            slab_lo = max(0, q0 + offset - d_hi + 1)
+            slab_hi = min(s_k, q1 + offset - d_lo)
+            if slab_hi <= slab_lo:
+                continue
+            cols = np.arange(slab_lo, slab_hi, dtype=np.int64)[None, :]
+            dist = rows - cols
+            keep = (dist >= d_lo) & (dist < d_hi) & (cols <= rows) & ~is_dense_row
+            if not keep.any():
+                continue
+            s = np.einsum(
+                "hqd,hkd->hqk", q_tile, kf[:, slab_lo:slab_hi], optimize=True
+            ) * scale
+            s = np.where(keep[None], s, NEG_INF)
+            _accumulate(all_heads, s, vf[:, slab_lo:slab_hi])
+            computed += int(keep.sum())
+
+        # ---- stripe part: per-head gathered columns outside every band.
+        for hh in range(h):
+            idx = stripes[hh]
+            # Only columns some row of this tile can own: distance beyond
+            # the first band for the tile's last row.
+            limit = (q1 - 1) + offset - intervals[0][1]
+            idx = idx[idx <= limit]
+            if idx.size == 0:
+                continue
+            dist = rows - idx[None, :]
+            keep = (dist >= 0) & ~_in_any_band(dist, intervals) & ~is_dense_row
+            if not keep.any():
+                continue
+            s = (q_tile[hh] @ kf[hh, idx].T) * scale  # (bq, n)
+            s = np.where(keep, s, NEG_INF)
+            _accumulate(np.asarray([hh]), s[None], vf[hh, idx][None])
+            computed[hh] += int(keep.sum())
+
+        safe_l = np.where(l == 0.0, 1.0, l)
+        out[:, q0:q1] = acc / safe_l[..., None]
+
+    total = _total_causal_elements(s_q, s_k)
+    return StripedAttentionResult(
+        output=out.astype(q.dtype, copy=False),
+        computed_elements=computed,
+        total_causal_elements=total,
+    )
+
+
+def _total_causal_elements(s_q: int, s_k: int) -> int:
+    offset = s_k - s_q
+    rows = np.arange(s_q, dtype=np.int64) + offset
+    return int(np.sum(rows + 1))
+
+
+def striped_element_counts(
+    s_q: int,
+    s_k: int,
+    window: int,
+    kv_indices: list[np.ndarray],
+    *,
+    sink_tokens: int = 0,
+    dense_last_rows: int = 0,
+    bands: list[tuple[int, int]] | None = None,
+) -> np.ndarray:
+    """Analytic per-head computed-element counts for a striped plan.
+
+    Equals :attr:`StripedAttentionResult.computed_elements` without running
+    the kernel -- the performance model uses this to bill paper-scale plans.
+    """
+    h = len(kv_indices)
+    intervals = normalise_bands(window, bands)
+    stripes = _normalise_indices(kv_indices, h, s_k, sink_tokens)
+    offset = s_k - s_q
+    rows = np.arange(s_q, dtype=np.int64) + offset  # absolute positions
+    dense_row_start = s_q - min(max(dense_last_rows, 0), s_q)
+    dense = np.arange(s_q) >= dense_row_start
+    nd_rows = rows[~dense]
+
+    # Band elements: per interval, each non-dense row i owns distances
+    # [d_lo, d_hi) clipped to [0, i].
+    band_total = 0
+    for d_lo, d_hi in intervals:
+        hi_key = nd_rows - d_lo  # largest key in interval, per row
+        lo_key = np.maximum(0, nd_rows - d_hi + 1)
+        band_total += int(np.maximum(0, hi_key - lo_key + 1).sum())
+    band_total += int((rows[dense] + 1).sum())  # dense rows own everything
+
+    r_lo = offset  # absolute range of non-dense rows: [r_lo, r_hi)
+    r_hi = offset + dense_row_start
+
+    counts = np.empty(h, dtype=np.int64)
+    for hh in range(h):
+        idx = stripes[hh]
+        if idx.size == 0:
+            counts[hh] = band_total
+            continue
+        owned = np.maximum(0, r_hi - np.maximum(idx, r_lo)).astype(np.int64)
+        for d_lo, d_hi in intervals:
+            excl = np.maximum(
+                0,
+                np.minimum(r_hi, idx + d_hi) - np.maximum(r_lo, idx + d_lo),
+            )
+            owned -= excl.astype(np.int64)
+        counts[hh] = band_total + int(np.maximum(owned, 0).sum())
+    return counts

@@ -1,0 +1,131 @@
+"""Shared numerics for all attention implementations.
+
+Array conventions used throughout :mod:`repro.attention`:
+
+* queries ``q``: ``(H, S_q, d)`` -- head-major, no batch dimension (the
+  paper benchmarks batch size 1 to reach long sequence lengths).
+* keys/values ``k``, ``v``: ``(H_kv, S_k, d)`` where ``H_kv`` divides ``H``
+  (grouped-query attention); ``H_kv == H`` is ordinary multi-head attention.
+* When ``S_q < S_k`` the queries are *right-aligned*: query row ``i``
+  corresponds to absolute position ``S_k - S_q + i``, which is the layout
+  of both chunked prefill and single-token decode.
+
+Everything is computed in float32 by default with float32 accumulation,
+mirroring the numerics of an fp16-input/fp32-accumulate GPU kernel closely
+enough for the library's tolerance-based kernel tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "NEG_INF",
+    "softmax",
+    "causal_mask",
+    "validate_qkv",
+    "expand_kv",
+    "attention_scores",
+    "masked_row_softmax",
+]
+
+NEG_INF = np.float32(-1e30)
+"""Additive mask value; large enough to zero a float32 softmax entry."""
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    Rows that are entirely ``-inf``-like (all entries below ``NEG_INF/2``)
+    produce all-zero probability rows instead of NaN, which is the behaviour
+    a sparse kernel exhibits for a fully masked row.
+    """
+    x = np.asarray(x)
+    m = np.max(x, axis=axis, keepdims=True)
+    dead = m <= NEG_INF / 2
+    e = np.exp(x - np.where(dead, 0.0, m))
+    e = np.where(np.broadcast_to(dead, e.shape), 0.0, e)
+    z = np.sum(e, axis=axis, keepdims=True)
+    z = np.where(z == 0.0, 1.0, z)
+    return e / z
+
+
+def causal_mask(s_q: int, s_k: int) -> np.ndarray:
+    """Boolean ``(s_q, s_k)`` mask, ``True`` where attention is allowed.
+
+    Queries are right-aligned: row ``i`` sits at absolute position
+    ``s_k - s_q + i`` and may attend to keys ``j <= s_k - s_q + i``.
+    Requires ``s_q <= s_k``.
+    """
+    if s_q > s_k:
+        raise ShapeError(f"causal_mask requires s_q <= s_k, got {s_q} > {s_k}")
+    offset = s_k - s_q
+    rows = np.arange(s_q)[:, None] + offset
+    cols = np.arange(s_k)[None, :]
+    return cols <= rows
+
+
+def validate_qkv(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray
+) -> tuple[int, int, int, int, int]:
+    """Validate shapes and return ``(H, H_kv, S_q, S_k, d)``.
+
+    Raises :class:`~repro.errors.ShapeError` on any inconsistency,
+    including a head count that is not a multiple of the KV head count.
+    """
+    if q.ndim != 3 or k.ndim != 3 or v.ndim != 3:
+        raise ShapeError(
+            "q, k, v must be rank-3 (H, S, d); got ranks "
+            f"{q.ndim}, {k.ndim}, {v.ndim}"
+        )
+    h, s_q, d = q.shape
+    h_kv, s_k, d_k = k.shape
+    if v.shape != (h_kv, s_k, d_k):
+        raise ShapeError(f"v shape {v.shape} != k shape {k.shape}")
+    if d != d_k:
+        raise ShapeError(f"head dim mismatch: q has d={d}, k has d={d_k}")
+    if h_kv == 0 or h % h_kv != 0:
+        raise ShapeError(f"H={h} must be a positive multiple of H_kv={h_kv}")
+    if s_q > s_k:
+        raise ShapeError(f"S_q={s_q} must be <= S_k={s_k} (right-aligned queries)")
+    return h, h_kv, s_q, s_k, d
+
+
+def expand_kv(x: np.ndarray, n_rep: int) -> np.ndarray:
+    """Repeat KV heads for grouped-query attention.
+
+    ``(H_kv, S, d) -> (H_kv * n_rep, S, d)`` where consecutive groups of
+    ``n_rep`` query heads share one KV head, matching the layout used by
+    LLaMA-family ``repeat_kv``.
+    """
+    if n_rep == 1:
+        return x
+    h_kv, s, d = x.shape
+    return np.broadcast_to(x[:, None], (h_kv, n_rep, s, d)).reshape(
+        h_kv * n_rep, s, d
+    )
+
+
+def attention_scores(
+    q: np.ndarray, k: np.ndarray, scale: float | None = None
+) -> np.ndarray:
+    """Scaled dot-product logits ``(H, S_q, S_k)`` (GQA-aware).
+
+    ``scale`` defaults to ``1/sqrt(d)``.
+    """
+    h, h_kv, _, _, d = validate_qkv(q, k, k)
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    k_full = expand_kv(k, h // h_kv)
+    return np.einsum("hqd,hkd->hqk", q, k_full, optimize=True) * np.float32(scale)
+
+
+def masked_row_softmax(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Softmax of ``scores`` restricted to ``mask`` (broadcast over heads).
+
+    ``mask`` is boolean with ``True`` = keep; fully masked rows yield zeros.
+    """
+    masked = np.where(mask, scores, NEG_INF)
+    return softmax(masked, axis=-1)

@@ -1,0 +1,25 @@
+"""Sparse-attention baselines evaluated against SampleAttention (paper
+Section 5.2): BigBird, StreamingLLM, HyperAttention, Hash-Sparse, and the
+orthogonal H2O KV-eviction policy.
+
+All prefill baselines implement
+:class:`repro.backends.MaskedAttentionBackend` and run on the same
+block-sparse kernel as SampleAttention, so accuracy differences come purely
+from *which* tiles each method keeps.
+"""
+
+from .bigbird import BigBirdBackend
+from .h2o import H2OPolicy
+from .hash_sparse import HashSparseBackend
+from .hyper_attention import HyperAttentionBackend
+from .lsh import simhash_buckets
+from .streaming_llm import StreamingLLMBackend
+
+__all__ = [
+    "BigBirdBackend",
+    "StreamingLLMBackend",
+    "HyperAttentionBackend",
+    "HashSparseBackend",
+    "H2OPolicy",
+    "simhash_buckets",
+]

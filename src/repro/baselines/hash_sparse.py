@@ -1,0 +1,77 @@
+"""Hash-Sparse baseline (Pagliardini et al., 2023: sparse causal flash
+attention, hash-based variant).
+
+Queries and keys are hashed into a fixed number of buckets (paper setting:
+16); a query attends only to keys in the *same* bucket, plus causality, plus
+a one-token diagonal so no row is left keyless.  The real kernel reorders
+tokens so buckets are contiguous; the net selection is the elementwise
+same-bucket mask this backend builds.
+
+Because the positional rotation baked into q/k scatters content matches
+across buckets, the method loses the critical long-range KV elements at
+prefill -- it is the weakest baseline in the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backends import ElementMaskedAttentionBackend
+from ..errors import ConfigError
+from .lsh import simhash_buckets
+
+__all__ = ["HashSparseBackend"]
+
+
+class HashSparseBackend(ElementMaskedAttentionBackend):
+    """Same-bucket hash attention.
+
+    Parameters
+    ----------
+    n_buckets:
+        Number of hash buckets; must be a power of two (paper: 16).
+    local_window:
+        Always-kept diagonal band in tokens, default 1.
+    """
+
+    name = "hash_sparse"
+
+    def __init__(
+        self,
+        *,
+        n_buckets: int = 16,
+        local_window: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_buckets < 2 or (n_buckets & (n_buckets - 1)) != 0:
+            raise ConfigError(
+                f"n_buckets must be a power of two >= 2, got {n_buckets}"
+            )
+        if local_window < 0:
+            raise ConfigError(f"local_window must be >= 0, got {local_window}")
+        self.n_buckets = n_buckets
+        self.local_window = local_window
+        self.seed = seed
+
+    def build_element_mask(
+        self, q: np.ndarray, k: np.ndarray, *, layer: int = 0
+    ) -> np.ndarray:
+        h, s_q = q.shape[0], q.shape[1]
+        h_kv, s_k = k.shape[0], k.shape[1]
+        rng = np.random.default_rng((self.seed, layer, s_k))
+        n_bits = int(np.log2(self.n_buckets))
+
+        k_full = k if h_kv == h else np.repeat(k, h // h_kv, axis=0)
+        k_buckets, planes = simhash_buckets(k_full, n_bits, rng)
+        q_buckets, _ = simhash_buckets(q, n_bits, rng, planes=planes)
+
+        mask = q_buckets[:, :, None] == k_buckets[:, None, :]
+
+        if self.local_window > 0:
+            offset = s_k - s_q
+            rows = np.arange(s_q)[:, None] + offset
+            cols = np.arange(s_k)[None, :]
+            band = (cols <= rows) & (cols > rows - self.local_window)
+            mask |= band[None]
+        return mask

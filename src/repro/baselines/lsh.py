@@ -1,0 +1,62 @@
+"""Locality-sensitive hashing shared by the HyperAttention and Hash-Sparse
+baselines.
+
+Both methods decide which query/key pairs may interact by hashing the
+*post-projection* (RoPE-rotated) vectors with random hyperplanes (SimHash):
+vectors with high cosine similarity land in the same bucket with high
+probability.  On real transformer activations the positional rotation mixes
+into every dimension, so content matches at different positions often hash
+apart -- precisely the weakness that makes these baselines lossy at prefill
+(paper Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["simhash_buckets"]
+
+
+def simhash_buckets(
+    x: np.ndarray,
+    n_bits: int,
+    rng: np.random.Generator,
+    *,
+    planes: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """SimHash bucket ids for per-head vectors.
+
+    Parameters
+    ----------
+    x:
+        ``(H, S, d)`` vectors to hash.
+    n_bits:
+        Number of random hyperplanes; buckets are ``2**n_bits`` sign codes.
+    rng:
+        Source of the hyperplanes (ignored when ``planes`` is supplied).
+    planes:
+        Optional precomputed ``(H, d, n_bits)`` hyperplane normals, so the
+        same hash family can be applied to both queries and keys.
+
+    Returns
+    -------
+    ``(buckets, planes)`` where ``buckets`` is ``(H, S)`` int64 bucket ids in
+    ``[0, 2**n_bits)`` and ``planes`` is the hyperplane tensor used.
+    """
+    if x.ndim != 3:
+        raise ConfigError(f"x must be (H, S, d), got rank {x.ndim}")
+    if not 1 <= n_bits <= 20:
+        raise ConfigError(f"n_bits must be in [1, 20], got {n_bits}")
+    h, _, d = x.shape
+    if planes is None:
+        planes = rng.standard_normal((h, d, n_bits)).astype(x.dtype, copy=False)
+    elif planes.shape != (h, d, n_bits):
+        raise ConfigError(
+            f"planes shape {planes.shape} != expected {(h, d, n_bits)}"
+        )
+    signs = np.einsum("hsd,hdb->hsb", x, planes, optimize=True) >= 0
+    weights = (1 << np.arange(n_bits, dtype=np.int64))[None, None, :]
+    buckets = np.sum(signs * weights, axis=-1, dtype=np.int64)
+    return buckets, planes

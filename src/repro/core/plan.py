@@ -1,0 +1,131 @@
+"""The :class:`SparsePlan` -- SampleAttention's per-call decision record.
+
+A plan captures everything the two filtering stages decided for one
+(layer, request) pair: the tuned window width, the per-head stripe indices
+``I_KV``, and the accounting numbers (kept-KV ratios, predicted element
+density, sampling cost) that the benchmarks and the performance model
+consume.  Keeping it as an explicit object makes the pipeline inspectable:
+``plan_sample_attention`` is pure analysis, the striped kernel is pure
+compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..attention.masks import (
+    BlockMask,
+    dense_rows_block_mask,
+    sink_block_mask,
+    stripe_block_mask,
+    window_block_mask,
+)
+from ..attention.striped import striped_element_counts
+from ..config import SampleAttentionConfig
+
+__all__ = ["SparsePlan"]
+
+
+@dataclass(frozen=True)
+class SparsePlan:
+    """Structured sparse attention plan for one attention call.
+
+    Attributes
+    ----------
+    kv_indices:
+        Per-head stripe key indices ``I_KV`` chosen by stage 2 (sorted).
+    window:
+        Local window width in tokens (``ceil(r_window * S_k)``, >= 1).
+    kv_ratio:
+        ``(H,)`` fraction of key columns kept as stripes per head.
+    achieved_share:
+        ``(H,)`` share of sampled column mass the stripes cover (>= alpha).
+    sampled_rows:
+        Query rows stage 1 sampled.
+    config:
+        The hyperparameters that produced this plan.
+    s_q, s_k:
+        Geometry of the attention call.
+    """
+
+    kv_indices: list[np.ndarray]
+    window: int
+    kv_ratio: np.ndarray
+    achieved_share: np.ndarray
+    sampled_rows: np.ndarray
+    config: SampleAttentionConfig
+    s_q: int
+    s_k: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_heads(self) -> int:
+        return len(self.kv_indices)
+
+    @property
+    def mean_kv_ratio(self) -> float:
+        """Mean stripe kept-ratio across heads (the paper's per-head
+        ``KV_ratio`` averaged)."""
+        return float(self.kv_ratio.mean()) if self.kv_ratio.size else 0.0
+
+    def element_counts(self) -> np.ndarray:
+        """Per-head score elements the striped kernel will compute."""
+        return striped_element_counts(
+            self.s_q,
+            self.s_k,
+            self.window,
+            self.kv_indices,
+            sink_tokens=self.config.sink_tokens,
+            dense_last_rows=self.config.dense_last_rows,
+            bands=self.extras.get("bands"),
+        )
+
+    def element_density(self) -> float:
+        """Predicted fraction of dense-causal score elements computed."""
+        offset = self.s_k - self.s_q
+        total = int(np.sum(np.arange(self.s_q, dtype=np.int64) + offset + 1))
+        if total == 0:
+            return 0.0
+        return float(self.element_counts().mean() / total)
+
+    def sampling_fraction(self) -> float:
+        """Stage-1 cost as a fraction of a full score-matrix pass
+        (``l / S_q``); feeds the sampling-overhead breakdown of Figure 5b."""
+        if self.s_q == 0:
+            return 0.0
+        return self.sampled_rows.size / self.s_q
+
+    def to_block_mask(self, block_size: int | None = None) -> BlockMask:
+        """Tile-granular view of the plan (window ∪ stripes ∪ sinks ∪
+        bottom area), for visualisation and for the block-kernel ablation."""
+        b = block_size or self.config.block_size
+        h = self.n_heads
+        mask = window_block_mask(h, self.s_q, self.s_k, b, self.window)
+        mask = mask | stripe_block_mask(self.kv_indices, self.s_q, self.s_k, b)
+        if self.config.sink_tokens > 0:
+            mask = mask | sink_block_mask(h, self.s_q, self.s_k, b, self.config.sink_tokens)
+        if self.config.dense_last_rows > 0:
+            mask = mask | dense_rows_block_mask(
+                h, self.s_q, self.s_k, b, self.config.dense_last_rows
+            )
+        return mask
+
+    def summary(self) -> dict:
+        """Plain-dict digest for logs and experiment tables."""
+        return {
+            "s_q": self.s_q,
+            "s_k": self.s_k,
+            "window": self.window,
+            "element_density": round(self.element_density(), 4),
+            "mean_kv_ratio": round(self.mean_kv_ratio, 4),
+            "min_kv_ratio": round(float(self.kv_ratio.min()), 4)
+            if self.kv_ratio.size
+            else 0.0,
+            "max_kv_ratio": round(float(self.kv_ratio.max()), 4)
+            if self.kv_ratio.size
+            else 0.0,
+            "n_sampled_rows": int(self.sampled_rows.size),
+            "alpha": self.config.alpha,
+        }

@@ -1,0 +1,126 @@
+"""Plan-guided KV-cache compression for the decode phase.
+
+The paper keeps an *uncompressed* KV cache during decoding and notes that
+SampleAttention composes with KV-eviction methods (H2O et al.).  This module
+implements the natural bridge between the two: the prefill plan already
+identified, per head, which key/value columns carry the context's attention
+mass -- so instead of re-estimating heavy hitters from decode-time scores
+(H2O) the cache can be compressed *immediately after prefill* to
+
+    (stage-2 stripes ``I_KV``)  ∪  (attention sinks)  ∪  (recent window),
+
+unioned over the query heads of each KV group (GQA caches are per KV head).
+Decoding then runs dense attention over the compacted cache: compute drops
+with the cache length and memory drops to the kept set, while retrieval
+accuracy is preserved because the stripes are exactly the columns the
+context's queries cared about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .plan import SparsePlan
+
+__all__ = ["plan_keep_indices", "compress_caches_with_plans"]
+
+
+def plan_keep_indices(
+    plan: SparsePlan,
+    n_kv_heads: int,
+    *,
+    recent_window: int | None = None,
+    sink_tokens: int | None = None,
+) -> list[np.ndarray]:
+    """Per-KV-head keep sets implied by a prefill plan.
+
+    Parameters
+    ----------
+    plan:
+        The layer's :class:`~repro.core.plan.SparsePlan`.
+    n_kv_heads:
+        KV head count; the plan's query heads are grouped onto them
+        (consecutive groups, the GQA layout) and their stripe sets unioned.
+    recent_window:
+        Recent positions always kept; defaults to the plan's window.
+    sink_tokens:
+        Leading positions always kept; defaults to the plan's configured
+        sink count (minimum 1 so the BOS anchor survives).
+
+    Returns
+    -------
+    Length-``n_kv_heads`` list of sorted position-index arrays, padded (by
+    extending the recent window backwards) to a common length so the cache
+    stays rectangular.
+    """
+    h = plan.n_heads
+    if n_kv_heads < 1 or h % n_kv_heads != 0:
+        raise ConfigError(
+            f"n_kv_heads={n_kv_heads} must divide plan head count {h}"
+        )
+    s_k = plan.s_k
+    window = plan.window if recent_window is None else int(recent_window)
+    window = int(np.clip(window, 1, s_k))
+    sinks = plan.config.sink_tokens if sink_tokens is None else int(sink_tokens)
+    sinks = int(np.clip(max(sinks, 1), 0, s_k))
+
+    always = np.union1d(
+        np.arange(sinks, dtype=np.int64),
+        np.arange(s_k - window, s_k, dtype=np.int64),
+    )
+    n_rep = h // n_kv_heads
+    keeps = []
+    for g in range(n_kv_heads):
+        stripes = [plan.kv_indices[g * n_rep + r] for r in range(n_rep)]
+        keep = np.union1d(always, np.concatenate([*stripes, always]))
+        keeps.append(keep.astype(np.int64))
+
+    # Rectangularise: extend shorter sets with the most recent positions
+    # not already kept (recency is the safest filler).
+    target = max(len(ix) for ix in keeps)
+    out = []
+    for keep in keeps:
+        if len(keep) < target:
+            missing = target - len(keep)
+            candidates = np.setdiff1d(
+                np.arange(s_k - 1, -1, -1, dtype=np.int64), keep, assume_unique=False
+            )[:missing]
+            keep = np.union1d(keep, candidates)
+        out.append(np.sort(keep))
+    return out
+
+
+def compress_caches_with_plans(
+    caches,
+    plans: list[SparsePlan],
+    *,
+    recent_window: int | None = None,
+    sink_tokens: int | None = None,
+) -> list[int]:
+    """Evict everything outside each layer's plan from its KV cache.
+
+    ``caches`` and ``plans`` are per-layer (as produced by a prefill with a
+    plan-recording SampleAttention backend).  Returns the per-layer kept
+    cache lengths (for logging/verification).
+    """
+    if len(caches) != len(plans):
+        raise ConfigError(
+            f"got {len(caches)} caches but {len(plans)} plans"
+        )
+    kept_lengths = []
+    for cache, plan in zip(caches, plans):
+        if len(cache) != plan.s_k:
+            raise ConfigError(
+                f"cache length {len(cache)} != plan s_k {plan.s_k}; compress "
+                "immediately after prefill, before any decode step"
+            )
+        keeps = plan_keep_indices(
+            plan,
+            cache.keys.shape[0],
+            recent_window=recent_window,
+            sink_tokens=sink_tokens,
+        )
+        cache.evict(keeps)
+        kept_lengths.append(len(cache))
+    return kept_lengths

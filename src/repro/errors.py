@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything emitted by this package with a single ``except`` clause
+while still receiving ordinary ``ValueError``/``TypeError`` semantics from
+``isinstance`` checks (each subclass also inherits from the closest builtin).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "ConfigError",
+    "MaskError",
+    "ModelError",
+    "TaskError",
+    "ProfilingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument had an unexpected shape or rank."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of its documented domain."""
+
+
+class MaskError(ReproError, ValueError):
+    """An attention mask is malformed (wrong dtype, non-causal, empty rows)."""
+
+
+class ModelError(ReproError, RuntimeError):
+    """The transformer substrate was used inconsistently."""
+
+
+class TaskError(ReproError, ValueError):
+    """A task generator received invalid parameters."""
+
+
+class ProfilingError(ReproError, RuntimeError):
+    """Offline hyperparameter profiling could not find a feasible setting."""

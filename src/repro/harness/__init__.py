@@ -1,0 +1,27 @@
+"""Experiment harness: one runner per paper table/figure plus a CLI.
+
+Public API::
+
+    from repro.harness import run_experiment, EXPERIMENTS, Table
+
+CLI::
+
+    sampleattn list              # enumerate experiments
+    sampleattn table2            # regenerate Table 2
+    sampleattn all --out rep.md  # everything, with a Markdown report
+"""
+
+from .experiments import EXPERIMENTS, FULL, QUICK, ExperimentScale, run_experiment
+from .methods import METHOD_NAMES, make_backend
+from .tables import Table
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentScale",
+    "QUICK",
+    "FULL",
+    "METHOD_NAMES",
+    "make_backend",
+    "Table",
+]

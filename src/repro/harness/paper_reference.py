@@ -1,0 +1,148 @@
+"""The paper's reported numbers, as structured data.
+
+Everything the paper states quantitatively -- table cells, figure callouts,
+in-text claims -- is transcribed here once, so that
+
+* EXPERIMENTS.md can be generated with explicit paper-vs-measured rows,
+* benchmarks can assert against the *paper's* values rather than magic
+  numbers scattered through test files,
+* qualitative "shape" claims (orderings, monotone trends) are checkable
+  independently of absolute scale.
+
+Source: Zhu et al., "SampleAttention: Near-Lossless Acceleration of Long
+Context LLM Inference with Adaptive Structured Sparse Attention",
+MLSys 2025 (numbers cited by table/figure below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TABLE2_PAPER",
+    "TABLE3_PAPER",
+    "TABLE4_PAPER",
+    "TABLE5_PAPER_SD",
+    "SPEEDUP_CLAIMS",
+    "SHAPE_CLAIMS",
+    "method_order_from_scores",
+]
+
+
+# --------------------------------------------------------------------------
+# Table 2: accuracy (LongBench total / BABILong total) per model x method.
+# --------------------------------------------------------------------------
+
+TABLE2_PAPER: dict[str, dict[str, tuple[float, float]]] = {
+    "ChatGLM2-6B": {
+        "full": (837.40, 30.20),
+        "sample_attention": (833.00, 31.04),
+        "bigbird": (765.94, 27.68),
+        "streaming_llm": (519.27, 14.60),
+        "hyper_attention": (508.94, 17.00),
+        "hash_sparse": (364.49, 11.20),
+    },
+    "InternLM2-7B": {
+        "full": (685.46, 35.24),
+        "sample_attention": (686.86, 36.88),
+        "bigbird": (637.04, 34.12),
+        "streaming_llm": (319.55, 5.96),
+        "hyper_attention": (336.57, 16.64),
+        "hash_sparse": (156.84, 2.82),
+    },
+}
+
+
+# --------------------------------------------------------------------------
+# Table 3: ChatGLM2-6B ablation (LongBench / BABILong / Needle totals).
+# --------------------------------------------------------------------------
+
+TABLE3_PAPER: dict[str, tuple[float, float, float]] = {
+    "full": (837.40, 30.20, 2235.0),
+    "alpha=0.80": (820.30, 27.28, 2130.0),
+    "alpha=0.90": (824.98, 29.08, 2090.0),
+    "alpha=0.95": (833.00, 31.04, 2239.0),
+    "alpha=0.98": (829.80, 31.16, 2231.0),
+    "r_w=4%": (792.87, 31.12, 2084.0),
+    "r_w=8%": (833.00, 31.04, 2239.0),
+    "r_row=2%": (809.34, 28.92, 2106.0),
+    "r_row=5%": (833.00, 31.04, 2239.0),
+    "r_row=10%": (831.14, 30.64, 2231.0),
+}
+
+
+# --------------------------------------------------------------------------
+# Table 4: ChatGLM2-6B TTFT breakdown at TP=4/PP=2 (ms, ms, percent).
+# --------------------------------------------------------------------------
+
+TABLE4_PAPER: dict[int, tuple[float, float, float]] = {
+    32768: (1273.4, 410.4, 32.2),
+    65536: (2917.3, 1538.1, 52.7),
+    131072: (7756.5, 4403.9, 56.8),
+    262144: (23403.7, 16839.5, 72.0),
+    524288: (51084.3, 43477.0, 85.1),
+    1048576: (169653.0, 148774.1, 87.7),
+}
+
+
+# --------------------------------------------------------------------------
+# Table 5: average SD (%) vs sequence length at three alphas (ChatGLM2-6B).
+# --------------------------------------------------------------------------
+
+TABLE5_PAPER_SD: dict[int, tuple[float, float, float]] = {
+    # seq_len: (SD@0.90, SD@0.95, SD@0.98), in percent.
+    4096: (91.27, 88.00, 79.17),
+    8192: (93.68, 90.74, 83.43),
+    16384: (95.84, 92.52, 86.37),
+    32768: (96.34, 93.88, 88.68),
+    65536: (96.91, 94.89, 90.70),
+    131072: (97.44, 95.84, 92.43),
+}
+
+
+# --------------------------------------------------------------------------
+# Headline speed claims (Figures 1, 5, 6).
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpeedupClaim:
+    """One reported speedup of SampleAttention over FlashAttention2."""
+
+    seq_len: int
+    alpha: float
+    attention_speedup: float | None
+    ttft_speedup: float | None
+
+
+SPEEDUP_CLAIMS: tuple[SpeedupClaim, ...] = (
+    SpeedupClaim(98304, 0.95, attention_speedup=2.20, ttft_speedup=1.62),
+    SpeedupClaim(98304, 0.80, attention_speedup=5.12, ttft_speedup=2.28),
+    SpeedupClaim(1048576, 0.95, attention_speedup=None, ttft_speedup=2.27),
+    SpeedupClaim(1048576, 0.80, attention_speedup=None, ttft_speedup=4.62),
+)
+
+
+# --------------------------------------------------------------------------
+# Qualitative shape claims: the invariants a faithful reproduction must
+# show even where absolute numbers differ.
+# --------------------------------------------------------------------------
+
+SHAPE_CLAIMS: tuple[str, ...] = (
+    "sample_attention scores >= 99% of full attention on every suite",
+    "method accuracy ordering: full ~= sample > bigbird > "
+    "{streaming, hyper, hash}",
+    "mean SD(0.95) above ~85% with at least one far denser head per model",
+    "SD increases (weakly) with sequence length",
+    "attention share of TTFT increases with sequence length",
+    "attention speedup over flash increases with sequence length",
+    "alpha=0.80 is faster than alpha=0.95 at every length",
+    "no speed advantage at ~8K (sampling overhead dominates)",
+    "sampling share of SampleAttention time decreases with length",
+    "5% row sampling reproduces the full column-score top-k selection",
+    "streaming_llm fails needles outside its sink+window",
+)
+
+
+def method_order_from_scores(scores: dict[str, float]) -> list[str]:
+    """Methods sorted by score, descending -- for ordering assertions."""
+    return sorted(scores, key=lambda m: -scores[m])

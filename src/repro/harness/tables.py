@@ -1,0 +1,97 @@
+"""Result tables: the harness's output format.
+
+Every experiment runner returns one or more :class:`Table` objects that
+print as aligned ASCII (terminal) and render to Markdown (EXPERIMENTS.md).
+Keeping results in a structured type -- instead of printing ad hoc -- lets
+the benchmark suite assert on the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["Table"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of results.
+
+    Attributes
+    ----------
+    title:
+        Experiment label, e.g. ``"Table 2: accuracy comparison"``.
+    headers:
+        Column names.
+    rows:
+        Lists of cells (str / int / float); each must match ``headers``.
+    notes:
+        Free-form caveats (scale factors, substitutions) appended below.
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ConfigError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        if name not in self.headers:
+            raise ConfigError(f"no column {name!r} in {self.headers}")
+        i = self.headers.index(name)
+        return [row[i] for row in self.rows]
+
+    def row_map(self, key_column: str) -> dict:
+        """Map ``key_column`` cell -> full row (for assertions)."""
+        i = self.headers.index(key_column)
+        return {row[i]: row for row in self.rows}
+
+    # -------------------------------------------------------------- render
+    def _cell_strings(self) -> list[list[str]]:
+        return [[_fmt(c) for c in row] for row in self.rows]
+
+    def __str__(self) -> str:
+        cells = self._cell_strings()
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        def line(parts):
+            return "  ".join(p.ljust(w) for p, w in zip(parts, widths))
+
+        out = [self.title, line(self.headers), line(["-" * w for w in widths])]
+        out += [line(r) for r in cells]
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        cells = self._cell_strings()
+        out = [f"### {self.title}", ""]
+        out.append("| " + " | ".join(self.headers) + " |")
+        out.append("|" + "|".join("---" for _ in self.headers) + "|")
+        out += ["| " + " | ".join(r) + " |" for r in cells]
+        if self.notes:
+            out += ["", f"*{self.notes}*"]
+        return "\n".join(out)

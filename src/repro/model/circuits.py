@@ -1,0 +1,429 @@
+"""Circuit compiler: hand-constructed attention heads.
+
+The paper's accuracy experiments need a long-context LLM whose answers
+*depend on attention fidelity*.  Instead of shipping pretrained weights
+(unavailable offline), we compile the attention-head circuits that
+mechanistic-interpretability work has identified inside real LLMs:
+
+* **prev** -- attends one position back and copies the token embedding into
+  the ``prev`` subspace (the first half of an induction circuit).
+* **induction** -- matches the current token against each position's
+  ``prev`` embedding and copies that position's token into ``out``;
+  with a low-frequency rotary *recency bias* it resolves multiple matches
+  to the most recent one ("the latest binding wins").
+* **local** -- a rotary kernel peaked at the current position, producing
+  the paper's *local window* score pattern (Figure 2d, diagonal band).
+* **sink** -- every query puts constant mass on the BOS token (the
+  attention-sink column).
+* **salience** -- every query attends to positions flagged as salient
+  (section markers, facts), producing the *column stripe* pattern.
+* **uniform** -- near-zero logits; a deliberately dense, low-sparsity head
+  (the 27.4%-SD head of Figure 2c).
+
+Each head's behaviour is specified declaratively (:class:`QueryProgram`,
+:class:`KVProgram`) in *post-softmax-scale logit units* and compiled into
+ordinary ``wq/wk/wv/wo`` projection matrices.  Content matching runs through
+a random non-orthogonal basis twist (``q = A e``, ``k = A^{-T} e'`` so
+``q.k = e.e'`` while q and k are far from parallel), reproducing the real
+``W_q != W_k`` geometry that defeats hash-bucket baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .config import ModelConfig
+from .rope import rope_frequencies
+from .weights import LayerWeights, ModelWeights
+
+__all__ = [
+    "RotaryTerm",
+    "QueryProgram",
+    "KVProgram",
+    "HeadSpec",
+    "KVGroupSpec",
+    "LayerSpec",
+    "EmbeddingSpec",
+    "recency_pair",
+    "local_pairs",
+    "compile_model",
+]
+
+_SUBSPACES = ("tok", "prev", "out")
+
+
+@dataclass(frozen=True)
+class RotaryTerm:
+    """One positional kernel contribution of a query program.
+
+    Attributes
+    ----------
+    pairs:
+        Rotary pair indices carrying this term (the KV program must expose a
+        carrier on them).
+    peak_logit:
+        Post-scale attention logit at the kernel's peak (summed over pairs).
+    offset:
+        Relative position of the peak; ``-1`` targets the previous token,
+        ``0`` the current position (local/recency kernels).
+    """
+
+    pairs: tuple[int, ...]
+    peak_logit: float
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class QueryProgram:
+    """What a query head looks for.
+
+    ``content``/``content_logit`` request a bilinear content match against
+    the KV program's exposed subspace; ``rotary`` adds positional kernels;
+    ``bos_gate``/``salience_gate`` switch on the constant-query couplings to
+    the KV program's flag channels.
+    """
+
+    kind: str
+    content: str | None = None
+    content_logit: float = 0.0
+    rotary: tuple[RotaryTerm, ...] = ()
+    bos_gate: float = 0.0
+    salience_gate: float = 0.0
+
+
+@dataclass(frozen=True)
+class KVProgram:
+    """What a KV head exposes (shared by its grouped query heads)."""
+
+    kind: str
+    content: str | None = None
+    rotary_pairs: tuple[int, ...] = ()
+    bos_logit: float = 0.0
+    salience_logit: float = 0.0
+    v_source: str | None = "tok"
+
+
+@dataclass(frozen=True)
+class HeadSpec:
+    """A query head: its program plus where the head output is routed."""
+
+    query: QueryProgram
+    o_dest: str | None = None
+    o_gain: float = 1.0
+
+
+@dataclass(frozen=True)
+class KVGroupSpec:
+    """One KV head and the query heads sharing it (GQA group)."""
+
+    kv: KVProgram
+    heads: tuple[HeadSpec, ...]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """All KV groups of one decoder layer."""
+
+    groups: tuple[KVGroupSpec, ...]
+
+
+@dataclass(frozen=True)
+class EmbeddingSpec:
+    """Token-embedding structure the compiler needs from the vocabulary.
+
+    Attributes
+    ----------
+    bos_id:
+        Token receiving the BOS flag (attention-sink anchor).
+    salient_ids:
+        Tokens receiving the salience flag (markers, separators).
+    orthonormal_ids:
+        Tokens whose embeddings are drawn from an exact orthonormal basis
+        (task-critical keys/markers get maximal matching margins); at most
+        ``d_embed`` ids are honoured, the rest fall back to random unit
+        vectors.
+    suppressed_ids:
+        Tokens receiving a negative LM-head bias (structural separators a
+        trained model would essentially never emit as an answer).
+    suppression_bias:
+        Bias magnitude applied to ``suppressed_ids`` (negative logits).
+    """
+
+    bos_id: int
+    salient_ids: tuple[int, ...] = ()
+    orthonormal_ids: tuple[int, ...] = ()
+    suppressed_ids: tuple[int, ...] = ()
+    suppression_bias: float = 6.0
+
+
+# --------------------------------------------------------------------------
+# Rotary pair selection helpers
+# --------------------------------------------------------------------------
+
+
+def recency_pair(
+    config: ModelConfig,
+    *,
+    monotone_fraction: float = 0.7,
+    horizon: int | None = None,
+) -> int:
+    """Index of the lowest-frequency rotary pair whose kernel is monotone
+    over ``horizon`` (default ``config.max_seq_len``), i.e. ``theta *
+    horizon <= monotone_fraction * pi``.  Used for the induction head's
+    latest-binding tie-break."""
+    horizon = horizon or config.max_seq_len
+    freqs = rope_frequencies(config.rot_dim, config.rope_base)
+    limit = monotone_fraction * np.pi / horizon
+    ok = np.nonzero(freqs <= limit)[0]
+    if ok.size == 0:
+        raise ConfigError(
+            f"no rotary pair is monotone over horizon={horizon}; "
+            "increase rope_base"
+        )
+    return int(ok[0])
+
+
+def recency_pairs(config: ModelConfig) -> tuple[int, ...]:
+    """Two-scale recency kernel pairs: a *fine* pair monotone over a
+    twelfth of the context (steep local ordering -- resolves nearby binding
+    ties) and a *coarse* pair monotone over the whole context (global
+    ordering).  The two may coincide on short-context configs."""
+    fine = recency_pair(config, horizon=max(config.max_seq_len // 12, 64))
+    coarse = recency_pair(config)
+    return tuple(sorted({fine, coarse}))
+
+
+def local_pairs(config: ModelConfig, window: int) -> tuple[int, ...]:
+    """Rotary pairs forming a local kernel of roughly ``window`` tokens.
+
+    A peaked-and-sidelobe-free kernel needs the *whole frequency ladder*
+    from the highest frequency down to about ``1/window``: the high pairs
+    sharpen the peak, the pair at ``~1/window`` sets the width, and one
+    extra lower pair suppresses far re-alignment sidelobes.
+    """
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window}")
+    freqs = rope_frequencies(config.rot_dim, config.rope_base)
+    cutoff = 0.5 / window
+    m_star = int(np.searchsorted(-freqs, -cutoff))  # first freq below cutoff
+    m_star = min(m_star + 1, config.n_rotary_pairs)  # include one below
+    return tuple(range(max(m_star, 2)))
+
+
+def prev_pairs(config: ModelConfig, n_pairs: int = 4) -> tuple[int, ...]:
+    """Highest-frequency pairs -- the only ones that discriminate +-1."""
+    return tuple(range(min(n_pairs, config.n_rotary_pairs)))
+
+
+# --------------------------------------------------------------------------
+# Compiler
+# --------------------------------------------------------------------------
+
+
+def _subspace_slice(config: ModelConfig, name: str) -> slice:
+    layout = config.layout
+    if name not in _SUBSPACES:
+        raise ConfigError(f"unknown subspace {name!r}; expected one of {_SUBSPACES}")
+    return getattr(layout, name)
+
+
+def _twist_matrices(
+    rng: np.random.Generator, d: int, spread: float = 2.5
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random well-conditioned ``A`` and ``A^{-T}`` with ``A^T A^{-T} != I``
+    but ``(A e) . (A^{-T} e') = e . e'`` exactly."""
+    q1, _ = np.linalg.qr(rng.standard_normal((d, d)))
+    q2, _ = np.linalg.qr(rng.standard_normal((d, d)))
+    log_s = rng.uniform(-np.log(spread), np.log(spread), size=d)
+    s = np.exp(log_s)
+    a = q1 @ np.diag(s) @ q2
+    a_inv_t = q1 @ np.diag(1.0 / s) @ q2
+    return a.astype(np.float32), a_inv_t.astype(np.float32)
+
+
+def _build_embeddings(
+    config: ModelConfig, spec: EmbeddingSpec, rng: np.random.Generator
+) -> np.ndarray:
+    """Token embedding table with the residual-layout conventions."""
+    layout = config.layout
+    d_e = config.d_embed
+    vocab = config.vocab_size
+
+    vectors = rng.standard_normal((vocab, d_e))
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+
+    ortho_ids = [t for t in spec.orthonormal_ids if 0 <= t < vocab][:d_e]
+    if ortho_ids:
+        basis, _ = np.linalg.qr(rng.standard_normal((d_e, d_e)))
+        for i, t in enumerate(ortho_ids):
+            vectors[t] = basis[:, i]
+
+    embed = np.zeros((vocab, layout.d_model), dtype=np.float32)
+    embed[:, layout.tok] = vectors
+    embed[:, layout.const_dim] = 1.0
+    if 0 <= spec.bos_id < vocab:
+        embed[spec.bos_id, layout.bos_dim] = 1.0
+        # BOS is a pure sink anchor: a *null* content embedding means mass
+        # parked on it contributes nothing to any head's value output and
+        # its key can never content-match a query -- the empirically
+        # observed null-sink behaviour of real attention sinks.
+        embed[spec.bos_id, layout.tok] = 0.0
+    for t in spec.salient_ids:
+        if 0 <= t < vocab:
+            embed[t, layout.salience_dim] = 1.0
+    return embed
+
+
+def _compile_layer(
+    config: ModelConfig,
+    spec: LayerSpec,
+    rng: np.random.Generator,
+    freqs: np.ndarray,
+) -> LayerWeights:
+    d, e = config.d_model, config.d_head
+    rot = config.rot_dim
+    d_e = config.d_embed
+    layout = config.layout
+    content_lo, content_hi = rot, rot + d_e
+    sink_ch = rot + d_e
+    sal_ch = rot + d_e + 1
+    sqrt_d = float(np.sqrt(e))
+    carrier_amp = float(e) ** 0.25
+
+    if len(spec.groups) != config.n_kv_heads:
+        raise ConfigError(
+            f"layer spec has {len(spec.groups)} KV groups, config expects "
+            f"{config.n_kv_heads}"
+        )
+
+    wq = np.zeros((config.n_heads, d, e), dtype=np.float32)
+    wk = np.zeros((config.n_kv_heads, d, e), dtype=np.float32)
+    wv = np.zeros((config.n_kv_heads, d, e), dtype=np.float32)
+    wo = np.zeros((config.n_heads, e, d), dtype=np.float32)
+
+    head_idx = 0
+    for g, group in enumerate(spec.groups):
+        if len(group.heads) != config.n_rep:
+            raise ConfigError(
+                f"KV group {g} has {len(group.heads)} query heads, config "
+                f"expects {config.n_rep}"
+            )
+        kv = group.kv
+        a_mat = a_inv_t = None
+        if kv.content is not None:
+            a_mat, a_inv_t = _twist_matrices(rng, d_e)
+            k_sub = _subspace_slice(config, kv.content)
+            # k_content = sqrt(lambda * sqrt(d)) is applied on the query
+            # side; the key side carries the twisted unit-gain embedding.
+            wk[g, k_sub, content_lo:content_hi] = a_inv_t.T
+        for pair in kv.rotary_pairs:
+            if not 0 <= pair < config.n_rotary_pairs:
+                raise ConfigError(f"rotary pair {pair} out of range")
+            wk[g, layout.const_dim, 2 * pair] = carrier_amp
+        if kv.bos_logit != 0.0:
+            wk[g, layout.bos_dim, sink_ch] = kv.bos_logit * sqrt_d
+        if kv.salience_logit != 0.0:
+            wk[g, layout.salience_dim, sal_ch] = kv.salience_logit * sqrt_d
+        if kv.v_source is not None:
+            v_sub = _subspace_slice(config, kv.v_source)
+            wv[g, v_sub, 0:d_e] = np.eye(d_e, dtype=np.float32)
+
+        for head in group.heads:
+            qp = head.query
+            if qp.content is not None:
+                if kv.content is None or a_mat is None:
+                    raise ConfigError(
+                        f"head {head_idx} ({qp.kind}) requests content match "
+                        f"but KV group {g} ({kv.kind}) exposes none"
+                    )
+                q_sub = _subspace_slice(config, qp.content)
+                gain = qp.content_logit * sqrt_d
+                wq[head_idx, q_sub, content_lo:content_hi] = gain * a_mat.T
+            for term in qp.rotary:
+                if term.peak_logit == 0.0 or not term.pairs:
+                    continue
+                missing = set(term.pairs) - set(kv.rotary_pairs)
+                if missing:
+                    raise ConfigError(
+                        f"head {head_idx} ({qp.kind}) uses rotary pairs "
+                        f"{sorted(missing)} the KV program does not carry"
+                    )
+                amp = term.peak_logit * sqrt_d / (len(term.pairs) * carrier_amp)
+                for pair in term.pairs:
+                    phase = freqs[pair] * term.offset
+                    wq[head_idx, layout.const_dim, 2 * pair] = amp * np.cos(phase)
+                    wq[head_idx, layout.const_dim, 2 * pair + 1] = amp * np.sin(phase)
+            if qp.bos_gate != 0.0:
+                wq[head_idx, layout.const_dim, sink_ch] = qp.bos_gate
+            if qp.salience_gate != 0.0:
+                wq[head_idx, layout.const_dim, sal_ch] = qp.salience_gate
+            if head.o_dest is not None:
+                o_sub = _subspace_slice(config, head.o_dest)
+                start = o_sub.start
+                wo[head_idx, 0:d_e, start : start + d_e] = (
+                    np.eye(d_e, dtype=np.float32) * head.o_gain
+                )
+            head_idx += 1
+
+    return LayerWeights(wq=wq, wk=wk, wv=wv, wo=wo)
+
+
+def compile_model(
+    config: ModelConfig,
+    layer_specs: list[LayerSpec],
+    embedding: EmbeddingSpec,
+    *,
+    seed: int = 0,
+    noise_std: float = 0.0,
+) -> ModelWeights:
+    """Compile declarative head programs into a full weight set.
+
+    Parameters
+    ----------
+    noise_std:
+        Gaussian perturbation added to every projection matrix, as a
+        fraction of that matrix's RMS magnitude.  Small values (~1e-2)
+        make the score matrices realistically fuzzy without breaking the
+        circuits; tests pin the tolerance.
+    """
+    if len(layer_specs) != config.n_layers:
+        raise ConfigError(
+            f"got {len(layer_specs)} layer specs, config expects {config.n_layers}"
+        )
+    rng = np.random.default_rng(seed)
+    freqs = rope_frequencies(config.rot_dim, config.rope_base)
+
+    embed = _build_embeddings(config, embedding, rng)
+    layout = config.layout
+    unembed = np.zeros((config.vocab_size, config.d_model), dtype=np.float32)
+    unembed[:, layout.out] = embed[:, layout.tok]
+    unembed_bias = np.zeros(config.vocab_size, dtype=np.float32)
+    for t in embedding.suppressed_ids:
+        if 0 <= t < config.vocab_size:
+            unembed_bias[t] = -abs(embedding.suppression_bias)
+
+    layers = [
+        _compile_layer(config, spec, rng, freqs) for spec in layer_specs
+    ]
+
+    if noise_std > 0.0:
+        for lw in layers:
+            for mat in (lw.wq, lw.wk, lw.wv, lw.wo):
+                rms = float(np.sqrt(np.mean(mat.astype(np.float64) ** 2)))
+                if rms > 0.0:
+                    mat += (
+                        rng.standard_normal(mat.shape) * noise_std * rms
+                    ).astype(np.float32)
+
+    weights = ModelWeights(
+        config=config,
+        embed=embed,
+        unembed=unembed,
+        layers=layers,
+        unembed_bias=unembed_bias,
+    )
+    weights.validate()
+    return weights

@@ -1,0 +1,158 @@
+"""Model-architecture configuration for the transformer substrate.
+
+The substrate mirrors the architectural ingredients the paper's two
+backbones share (Section 5.1): decoder-only blocks, rotary positional
+encoding applied to *half* of each head's dimensions (ChatGLM2's partial
+rotary), grouped-query attention, and an (optional) gated MLP.
+
+The residual stream of the *constructed* models is partitioned into named
+subspaces; :class:`ResidualLayout` records the offsets so the circuit
+compiler (:mod:`repro.model.circuits`) and the analysis code agree on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["ResidualLayout", "ModelConfig"]
+
+
+@dataclass(frozen=True)
+class ResidualLayout:
+    """Named subspace offsets inside the residual stream.
+
+    ``tok``   -- current-token embedding (written by the embedding).
+    ``prev``  -- previous-token embedding (written by layer-0 "prev" heads).
+    ``out``   -- answer accumulator (read by the unembedding).
+    ``flags`` -- 4 scalar dims: constant carrier, BOS flag, salience flag,
+    scratch.
+    """
+
+    d_embed: int
+
+    @property
+    def tok(self) -> slice:
+        return slice(0, self.d_embed)
+
+    @property
+    def prev(self) -> slice:
+        return slice(self.d_embed, 2 * self.d_embed)
+
+    @property
+    def out(self) -> slice:
+        return slice(2 * self.d_embed, 3 * self.d_embed)
+
+    @property
+    def const_dim(self) -> int:
+        return 3 * self.d_embed
+
+    @property
+    def bos_dim(self) -> int:
+        return 3 * self.d_embed + 1
+
+    @property
+    def salience_dim(self) -> int:
+        return 3 * self.d_embed + 2
+
+    @property
+    def scratch_dim(self) -> int:
+        return 3 * self.d_embed + 3
+
+    @property
+    def d_model(self) -> int:
+        return 3 * self.d_embed + 4
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyperparameters of the transformer substrate.
+
+    Parameters
+    ----------
+    n_layers, n_heads, n_kv_heads:
+        Decoder depth and (grouped-query) head counts; ``n_heads`` must be a
+        multiple of ``n_kv_heads``.
+    d_embed:
+        Token-embedding subspace width (also sets ``d_model`` through
+        :class:`ResidualLayout`).
+    d_head:
+        Per-head dimension; must be at least ``rot_dim + d_embed`` so the
+        non-rotary half can carry a full token embedding (the constructed
+        induction circuit needs it).
+    rot_dim:
+        Leading head dims receiving rotary rotation (partial RoPE).
+    rope_base:
+        RoPE frequency base.  Constructed models use a large base so the
+        lowest frequency is monotone over ``max_seq_len`` (the recency-bias
+        kernel relies on it).
+    max_seq_len:
+        Longest supported sequence; validates the monotone-recency choice.
+    vocab_size:
+        Token vocabulary size.
+    norm:
+        ``"none"`` (constructed circuits; residual algebra must be exact) or
+        ``"rms"`` (random-weight models).
+    mlp_ratio:
+        Hidden/model width ratio of the gated MLP; ``0`` disables MLPs
+        (constructed models route everything through attention).
+    """
+
+    n_layers: int = 4
+    n_heads: int = 8
+    n_kv_heads: int = 4
+    d_embed: int = 48
+    d_head: int = 80
+    rot_dim: int = 24
+    rope_base: float = 1.0e7
+    max_seq_len: int = 16384
+    vocab_size: int = 1024
+    norm: str = "none"
+    mlp_ratio: float = 0.0
+    name: str = "substrate"
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1:
+            raise ConfigError(f"n_layers must be >= 1, got {self.n_layers}")
+        if self.n_kv_heads < 1 or self.n_heads % self.n_kv_heads != 0:
+            raise ConfigError(
+                f"n_heads={self.n_heads} must be a positive multiple of "
+                f"n_kv_heads={self.n_kv_heads}"
+            )
+        if self.rot_dim % 2 != 0:
+            raise ConfigError(f"rot_dim must be even, got {self.rot_dim}")
+        if self.rot_dim > self.d_head:
+            raise ConfigError(
+                f"rot_dim={self.rot_dim} cannot exceed d_head={self.d_head}"
+            )
+        if self.d_head - self.rot_dim < self.d_embed + 2:
+            raise ConfigError(
+                "non-rotary head width must hold a token embedding plus two "
+                "flag channels: need d_head - rot_dim >= d_embed + 2, got "
+                f"{self.d_head - self.rot_dim} < {self.d_embed + 2}"
+            )
+        if self.norm not in ("none", "rms"):
+            raise ConfigError(f"norm must be 'none' or 'rms', got {self.norm!r}")
+        if self.vocab_size < 8:
+            raise ConfigError(f"vocab_size must be >= 8, got {self.vocab_size}")
+        if self.mlp_ratio < 0:
+            raise ConfigError(f"mlp_ratio must be >= 0, got {self.mlp_ratio}")
+
+    @property
+    def layout(self) -> ResidualLayout:
+        return ResidualLayout(self.d_embed)
+
+    @property
+    def d_model(self) -> int:
+        return self.layout.d_model
+
+    @property
+    def n_rep(self) -> int:
+        """Query heads per KV head (grouped-query replication factor)."""
+        return self.n_heads // self.n_kv_heads
+
+    @property
+    def n_rotary_pairs(self) -> int:
+        return self.rot_dim // 2

@@ -1,0 +1,137 @@
+"""Decoder building blocks: normalisation, gated MLP, attention layer.
+
+The attention layer owns the projection + rotary plumbing and delegates the
+actual score/softmax/value computation to an
+:class:`~repro.backends.AttentionBackend`, which is how the harness swaps
+SampleAttention and the baselines in and out per run -- mirroring the paper,
+which replaces only the prefill attention implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attention.dense import dense_attention
+from ..backends import AttentionBackend
+from ..errors import ModelError
+from .config import ModelConfig
+from .kv_cache import LayerKVCache
+from .rope import apply_rope, rope_cos_sin
+from .weights import LayerWeights
+
+__all__ = ["rms_norm", "gated_mlp", "AttentionLayer"]
+
+
+def rms_norm(x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square normalisation over the last axis (no learned gain)."""
+    rms = np.sqrt(np.mean(np.square(x), axis=-1, keepdims=True) + eps)
+    return x / rms
+
+
+def _silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+def gated_mlp(x: np.ndarray, w1: np.ndarray, w2: np.ndarray, w3: np.ndarray) -> np.ndarray:
+    """SwiGLU feed-forward: ``(silu(x @ w1) * (x @ w3)) @ w2``."""
+    return (_silu(x @ w1) * (x @ w3)) @ w2
+
+
+class AttentionLayer:
+    """One decoder layer's attention: project, rotate, attend, merge.
+
+    The layer is stateless with respect to sequences; the caller supplies
+    the residual stream and (for decode) the KV cache.
+    """
+
+    def __init__(self, config: ModelConfig, weights: LayerWeights) -> None:
+        weights.validate(config)
+        self.config = config
+        self.weights = weights
+        self._scale = 1.0 / np.sqrt(config.d_head)
+
+    # ------------------------------------------------------------- helpers
+    def project_qkv(
+        self, x: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project the normalised residual to rotated q/k and raw v.
+
+        ``x``: ``(S, d_model)``; ``positions``: absolute positions for the
+        rotary tables.  Returns ``q (H, S, e)``, ``k (H_kv, S, e)``,
+        ``v (H_kv, S, e)``.
+        """
+        if x.ndim != 2 or x.shape[1] != self.config.d_model:
+            raise ModelError(f"residual shape {x.shape}")
+        q = np.einsum("sd,hde->hse", x, self.weights.wq, optimize=True)
+        k = np.einsum("sd,gde->gse", x, self.weights.wk, optimize=True)
+        v = np.einsum("sd,gde->gse", x, self.weights.wv, optimize=True)
+        cos, sin = rope_cos_sin(
+            positions, self.config.rot_dim, self.config.rope_base
+        )
+        q = apply_rope(q, cos, sin)
+        k = apply_rope(k, cos, sin)
+        return q.astype(np.float32), k.astype(np.float32), v.astype(np.float32)
+
+    def merge_heads(self, attn_out: np.ndarray) -> np.ndarray:
+        """``(H, S, e) -> (S, d_model)`` via the output projection."""
+        return np.einsum("hse,hed->sd", attn_out, self.weights.wo, optimize=True)
+
+    # ------------------------------------------------------------- prefill
+    def prefill(
+        self,
+        x: np.ndarray,
+        backend: AttentionBackend,
+        *,
+        cache: LayerKVCache | None = None,
+        prob_hook=None,
+        layer_index: int = 0,
+    ) -> np.ndarray:
+        """Full-sequence attention through ``backend``.
+
+        Returns the residual *delta* (caller adds it).  When ``cache`` is
+        given, the rotated keys/values are appended for later decoding.
+        ``prob_hook(probs)`` -- if provided -- receives the *dense full
+        attention* probabilities ``(H, S, S)`` for analysis (computed with
+        the gold kernel regardless of ``backend``; expensive).
+        """
+        s = x.shape[0]
+        positions = np.arange(s, dtype=np.int64)
+        q, k, v = self.project_qkv(x, positions)
+        out = backend.prefill(q, k, v, scale=self._scale, layer=layer_index)
+        if cache is not None:
+            cache.append(k, v, positions)
+        if prob_hook is not None:
+            probs = dense_attention(
+                q, k, v, causal=True, scale=self._scale, return_probs=True
+            ).probs
+            prob_hook(probs)
+        return self.merge_heads(out)
+
+    # -------------------------------------------------------------- decode
+    def decode_step(
+        self,
+        x: np.ndarray,
+        position: int,
+        cache: LayerKVCache,
+        *,
+        record_attention: bool = False,
+    ) -> np.ndarray:
+        """Single-token attention against the cache (dense, as in the paper).
+
+        ``x``: ``(1, d_model)`` residual row for the new token.  Appends the
+        new KV entry, attends over the whole cache, and optionally records
+        per-key attention mass for eviction policies.
+        """
+        q, k, v = self.project_qkv(x, np.asarray([position], dtype=np.int64))
+        cache.append(k, v, np.asarray([position], dtype=np.int64))
+        res = dense_attention(
+            q,
+            cache.keys,
+            cache.values,
+            causal=False,  # every cached key is in the past by construction
+            scale=self._scale,
+            return_probs=record_attention,
+        )
+        if record_attention and res.probs is not None:
+            cache.record_attention(res.probs)
+        return self.merge_heads(res.output)

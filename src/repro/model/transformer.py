@@ -1,0 +1,300 @@
+"""The decoder-only transformer substrate.
+
+:class:`Transformer` wires embeddings, attention layers, optional MLPs and
+the unembedding into the two phases the paper's pipeline distinguishes:
+
+* :meth:`prefill` -- process the whole prompt through a pluggable
+  :class:`~repro.backends.AttentionBackend` (this is where SampleAttention
+  and the baselines differ) and populate the KV caches;
+* :meth:`generate` -- greedy decoding with dense attention over the caches
+  (the paper keeps decode uncompressed), optionally applying a KV-eviction
+  policy after each step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backends import AttentionBackend, FullAttentionBackend
+from ..baselines.h2o import H2OPolicy
+from ..errors import ModelError
+# ModelConfig is reached through weights.config; no direct import needed.
+from .kv_cache import LayerKVCache
+from .layers import AttentionLayer, gated_mlp, rms_norm
+from .weights import ModelWeights
+
+__all__ = ["GenerationResult", "Transformer"]
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of :meth:`Transformer.generate`.
+
+    Attributes
+    ----------
+    tokens:
+        Generated token ids (prompt excluded).
+    prefill_seconds:
+        Wall-clock prefill time (the substrate's measured TTFT).
+    decode_seconds:
+        Wall-clock decode time for all generated tokens.
+    backend_stats:
+        Per-layer ``backend.last_stats()`` snapshots from prefill.
+    """
+
+    tokens: list[int]
+    prefill_seconds: float
+    decode_seconds: float
+    backend_stats: list[dict] = field(default_factory=list)
+
+
+class Transformer:
+    """Decoder-only LM over NumPy arrays.
+
+    Parameters
+    ----------
+    weights:
+        Validated :class:`~repro.model.weights.ModelWeights`; the config is
+        taken from it.
+    """
+
+    def __init__(self, weights: ModelWeights) -> None:
+        weights.validate()
+        self.weights = weights
+        self.config = weights.config
+        self.layers = [
+            AttentionLayer(self.config, lw) for lw in weights.layers
+        ]
+
+    # ------------------------------------------------------------ plumbing
+    def _norm(self, x: np.ndarray) -> np.ndarray:
+        if self.config.norm == "rms":
+            return rms_norm(x)
+        return x
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1:
+            raise ModelError(f"tokens must be rank-1, got rank {tokens.ndim}")
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.config.vocab_size):
+            raise ModelError(
+                f"token id out of range [0, {self.config.vocab_size})"
+            )
+        return self.weights.embed[tokens].astype(np.float32)
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Unembed residual rows: ``(S, d_model) -> (S, vocab)``."""
+        out = x @ self.weights.unembed.T
+        if self.weights.unembed_bias is not None:
+            out = out + self.weights.unembed_bias[None, :]
+        return out
+
+    # ------------------------------------------------------------- prefill
+    def prefill(
+        self,
+        tokens: np.ndarray,
+        backend: AttentionBackend | None = None,
+        *,
+        caches: list[LayerKVCache] | None = None,
+        prob_hook=None,
+    ) -> tuple[np.ndarray, list[dict]]:
+        """Run the prompt through every layer.
+
+        Parameters
+        ----------
+        backend:
+            Prefill attention implementation; defaults to full attention.
+        caches:
+            Optional per-layer KV caches to populate for decoding.
+        prob_hook:
+            ``prob_hook(layer_index, probs)`` receives each layer's dense
+            attention probabilities ``(H, S, S)`` (analysis use; slow).
+
+        Returns
+        -------
+        ``(hidden, stats)``: final residual stream ``(S, d_model)`` and the
+        per-layer backend stats.
+        """
+        backend = backend or FullAttentionBackend()
+        if caches is not None and len(caches) != self.config.n_layers:
+            raise ModelError("caches must have one entry per layer")
+        x = self.embed(tokens)
+        stats: list[dict] = []
+        for i, layer in enumerate(self.layers):
+            hook = (lambda p, _i=i: prob_hook(_i, p)) if prob_hook else None
+            delta = layer.prefill(
+                self._norm(x),
+                backend,
+                cache=caches[i] if caches is not None else None,
+                prob_hook=hook,
+                layer_index=i,
+            )
+            x = x + delta
+            lw = layer.weights
+            if lw.mlp_w1 is not None:
+                x = x + gated_mlp(self._norm(x), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3)
+            stats.append(backend.last_stats())
+        return x, stats
+
+    def new_caches(self, capacity: int = 256) -> list[LayerKVCache]:
+        return [
+            LayerKVCache(self.config.n_kv_heads, self.config.d_head, capacity)
+            for _ in range(self.config.n_layers)
+        ]
+
+    def prefill_chunked(
+        self,
+        tokens: np.ndarray,
+        backend: AttentionBackend | None = None,
+        *,
+        chunk_size: int = 512,
+        caches: list[LayerKVCache] | None = None,
+    ) -> tuple[np.ndarray, list[dict]]:
+        """Memory-efficient chunked prefill (paper Appendix A.6's serving
+        strategy for >=128K requests).
+
+        The prompt is processed in chunks along the sequence dimension:
+        each chunk's queries attend (right-aligned) to all keys cached so
+        far plus its own, so results are numerically identical to a
+        monolithic prefill while peak activation memory is
+        ``O(chunk_size * d_model)`` per layer.
+
+        Sparse backends see ``S_q = chunk_size`` against the full key
+        length; SampleAttention's stage-1 then samples the *chunk's* rows,
+        which is exactly how a chunked serving integration would run it.
+
+        Returns the final residual rows of the **last chunk only** (enough
+        for TTFT) plus per-layer stats from the last chunk.
+        """
+        backend = backend or FullAttentionBackend()
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size == 0:
+            raise ModelError("tokens must be non-empty")
+        if chunk_size < 1:
+            raise ModelError(f"chunk_size must be >= 1, got {chunk_size}")
+        own_caches = caches is None
+        if own_caches:
+            caches = self.new_caches(capacity=int(tokens.size))
+        elif len(caches) != self.config.n_layers:
+            raise ModelError("caches must have one entry per layer")
+
+        stats: list[dict] = []
+        x_last: np.ndarray | None = None
+        for c0 in range(0, tokens.size, chunk_size):
+            c1 = min(c0 + chunk_size, tokens.size)
+            x = self.embed(tokens[c0:c1])
+            positions = np.arange(c0, c1, dtype=np.int64)
+            stats = []
+            for i, layer in enumerate(self.layers):
+                q, k_new, v_new = layer.project_qkv(self._norm(x), positions)
+                caches[i].append(k_new, v_new, positions)
+                out = backend.prefill(
+                    q, caches[i].keys, caches[i].values,
+                    scale=1.0 / np.sqrt(self.config.d_head),
+                    layer=i,
+                )
+                x = x + layer.merge_heads(out)
+                lw = layer.weights
+                if lw.mlp_w1 is not None:
+                    x = x + gated_mlp(
+                        self._norm(x), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3
+                    )
+                stats.append(backend.last_stats())
+            x_last = x
+        assert x_last is not None
+        return x_last, stats
+
+    # -------------------------------------------------------------- decode
+    def decode_step(
+        self,
+        token: int,
+        position: int,
+        caches: list[LayerKVCache],
+        *,
+        kv_policy: H2OPolicy | None = None,
+    ) -> np.ndarray:
+        """Process one token; returns its ``(vocab,)`` logits."""
+        x = self.embed(np.asarray([token]))
+        for i, layer in enumerate(self.layers):
+            delta = layer.decode_step(
+                self._norm(x),
+                position,
+                caches[i],
+                record_attention=kv_policy is not None,
+            )
+            x = x + delta
+            lw = layer.weights
+            if lw.mlp_w1 is not None:
+                x = x + gated_mlp(self._norm(x), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3)
+        if kv_policy is not None:
+            for cache in caches:
+                if len(cache) > kv_policy.budget:
+                    cache.evict(kv_policy.select(cache._acc[:, : len(cache)]))
+        return self.logits(x)[0]
+
+    # ------------------------------------------------------------ generate
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        *,
+        backend: AttentionBackend | None = None,
+        kv_policy: H2OPolicy | None = None,
+        stop_token: int | None = None,
+        compress_kv_with_plan: bool = False,
+    ) -> GenerationResult:
+        """Greedy generation: sparse-backend prefill, dense decode.
+
+        The first generated token comes from the last prompt position's
+        logits (so prefill latency here *is* TTFT for the substrate).
+
+        With ``compress_kv_with_plan=True`` (requires a plan-recording
+        SampleAttention backend), the KV caches are compressed to each
+        layer's plan -- stripes ∪ sinks ∪ recent window -- right after
+        prefill, so decoding runs over a fraction of the cache (see
+        :mod:`repro.core.sparse_decode`).
+        """
+        prompt = np.asarray(prompt, dtype=np.int64)
+        if prompt.size == 0:
+            raise ModelError("prompt must be non-empty")
+        if max_new_tokens < 0:
+            raise ModelError("max_new_tokens must be >= 0")
+        if compress_kv_with_plan:
+            if not getattr(backend, "record_plans", False):
+                raise ModelError(
+                    "compress_kv_with_plan requires a SampleAttention "
+                    "backend constructed with record_plans=True"
+                )
+
+        caches = self.new_caches(capacity=int(prompt.size + max_new_tokens + 1))
+        t0 = time.perf_counter()
+        hidden, stats = self.prefill(prompt, backend, caches=caches)
+        if compress_kv_with_plan:
+            from ..core.sparse_decode import compress_caches_with_plans
+
+            compress_caches_with_plans(caches, backend.plans)
+        next_token = int(np.argmax(self.logits(hidden[-1:])[0]))
+        t1 = time.perf_counter()
+
+        generated: list[int] = []
+        position = int(prompt.size)
+        for _ in range(max_new_tokens):
+            generated.append(next_token)
+            if stop_token is not None and next_token == stop_token:
+                break
+            logits = self.decode_step(
+                next_token, position, caches, kv_policy=kv_policy
+            )
+            next_token = int(np.argmax(logits))
+            position += 1
+        t2 = time.perf_counter()
+
+        return GenerationResult(
+            tokens=generated,
+            prefill_seconds=t1 - t0,
+            decode_seconds=t2 - t1,
+            backend_stats=stats,
+        )

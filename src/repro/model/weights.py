@@ -1,0 +1,131 @@
+"""Weight containers and initialisers for the transformer substrate.
+
+Weights are plain NumPy arrays grouped per layer.  Two initialisation paths
+exist:
+
+* :func:`random_weights` -- Gaussian init, used by kernel-level tests that
+  only need *a* transformer, not a competent one.
+* the circuit compiler in :mod:`repro.model.circuits` -- constructs weights
+  head by head so the model provably performs long-range retrieval, giving
+  the task suites a ground-truth-capable backbone without any training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+from .config import ModelConfig
+
+__all__ = ["LayerWeights", "ModelWeights", "random_weights"]
+
+
+@dataclass
+class LayerWeights:
+    """Per-layer projection matrices.
+
+    Shapes (``D = d_model``, ``E = d_head``):
+
+    * ``wq``: ``(n_heads, D, E)``
+    * ``wk``/``wv``: ``(n_kv_heads, D, E)``
+    * ``wo``: ``(n_heads, E, D)``
+    * ``mlp_w1``/``mlp_w3``: ``(D, F)`` and ``mlp_w2``: ``(F, D)`` for the
+      gated MLP; all ``None`` when the config disables MLPs.
+    """
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    mlp_w1: np.ndarray | None = None
+    mlp_w2: np.ndarray | None = None
+    mlp_w3: np.ndarray | None = None
+
+    def validate(self, config: ModelConfig) -> None:
+        d, e = config.d_model, config.d_head
+        if self.wq.shape != (config.n_heads, d, e):
+            raise ShapeError(f"wq shape {self.wq.shape}")
+        if self.wk.shape != (config.n_kv_heads, d, e):
+            raise ShapeError(f"wk shape {self.wk.shape}")
+        if self.wv.shape != (config.n_kv_heads, d, e):
+            raise ShapeError(f"wv shape {self.wv.shape}")
+        if self.wo.shape != (config.n_heads, e, d):
+            raise ShapeError(f"wo shape {self.wo.shape}")
+
+
+@dataclass
+class ModelWeights:
+    """Full parameter set: embedding, per-layer weights, unembedding.
+
+    ``embed`` is ``(vocab, d_model)``; ``unembed`` is ``(vocab, d_model)``
+    and logits are ``x @ unembed.T + unembed_bias``.  The bias models the
+    LM head's output prior (real models essentially never emit structural
+    separators as answers; the constructed head encodes that directly).
+    """
+
+    config: ModelConfig
+    embed: np.ndarray
+    unembed: np.ndarray
+    layers: list[LayerWeights] = field(default_factory=list)
+    unembed_bias: np.ndarray | None = None
+
+    def validate(self) -> None:
+        c = self.config
+        if self.embed.shape != (c.vocab_size, c.d_model):
+            raise ShapeError(f"embed shape {self.embed.shape}")
+        if self.unembed.shape != (c.vocab_size, c.d_model):
+            raise ShapeError(f"unembed shape {self.unembed.shape}")
+        if self.unembed_bias is not None and self.unembed_bias.shape != (
+            c.vocab_size,
+        ):
+            raise ShapeError(f"unembed_bias shape {self.unembed_bias.shape}")
+        if len(self.layers) != c.n_layers:
+            raise ShapeError(
+                f"expected {c.n_layers} layers, got {len(self.layers)}"
+            )
+        for layer in self.layers:
+            layer.validate(c)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (embedding included)."""
+        n = self.embed.size + self.unembed.size
+        for lw in self.layers:
+            n += lw.wq.size + lw.wk.size + lw.wv.size + lw.wo.size
+            for m in (lw.mlp_w1, lw.mlp_w2, lw.mlp_w3):
+                if m is not None:
+                    n += m.size
+        return n
+
+
+def random_weights(config: ModelConfig, seed: int = 0, scale: float = 0.02) -> ModelWeights:
+    """Gaussian-initialised weights (for substrate-level tests)."""
+    rng = np.random.default_rng(seed)
+    d, e = config.d_model, config.d_head
+
+    def g(*shape: int) -> np.ndarray:
+        return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+    layers = []
+    for _ in range(config.n_layers):
+        f = int(config.mlp_ratio * d)
+        layers.append(
+            LayerWeights(
+                wq=g(config.n_heads, d, e),
+                wk=g(config.n_kv_heads, d, e),
+                wv=g(config.n_kv_heads, d, e),
+                wo=g(config.n_heads, e, d),
+                mlp_w1=g(d, f) if f else None,
+                mlp_w2=g(f, d) if f else None,
+                mlp_w3=g(d, f) if f else None,
+            )
+        )
+    weights = ModelWeights(
+        config=config,
+        embed=g(config.vocab_size, d),
+        unembed=g(config.vocab_size, d),
+        layers=layers,
+    )
+    weights.validate()
+    return weights

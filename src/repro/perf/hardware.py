@@ -1,0 +1,73 @@
+"""Hardware specifications for the roofline cost model.
+
+The paper benchmarks a single NVIDIA A100-80GB (Section 5.4) and an
+8xA100 node with TP=4/PP=2 for the appendix TTFT breakdown (Table 4).
+The :class:`HardwareSpec` numbers are public datasheet values; the
+*efficiency* factors -- what fraction of peak a real fused kernel achieves
+-- are calibrated once against the paper's Table 4 latencies and then held
+fixed for every prediction (see :mod:`repro.perf.latency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["HardwareSpec", "A100_80GB"]
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One accelerator's roofline parameters.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    peak_flops:
+        Peak dense fp16/bf16 tensor throughput, FLOP/s.
+    memory_bandwidth:
+        Peak HBM bandwidth, bytes/s.
+    flops_efficiency:
+        Fraction of peak a well-tuned attention/GEMM kernel sustains.
+    bandwidth_efficiency:
+        Fraction of peak bandwidth sustained on streaming reads.
+    kernel_overhead:
+        Fixed per-kernel launch/setup cost, seconds.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    flops_efficiency: float = 0.55
+    bandwidth_efficiency: float = 0.75
+    kernel_overhead: float = 6.0e-6
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigError("peak_flops and memory_bandwidth must be positive")
+        for nm in ("flops_efficiency", "bandwidth_efficiency"):
+            v = getattr(self, nm)
+            if not 0.0 < v <= 1.0:
+                raise ConfigError(f"{nm} must be in (0, 1], got {v}")
+        if self.kernel_overhead < 0:
+            raise ConfigError("kernel_overhead must be >= 0")
+
+    def kernel_seconds(self, flops: float, bytes_moved: float) -> float:
+        """Roofline latency of one kernel: max of compute and memory time,
+        plus the launch overhead."""
+        if flops < 0 or bytes_moved < 0:
+            raise ConfigError("flops and bytes_moved must be >= 0")
+        t_compute = flops / (self.peak_flops * self.flops_efficiency)
+        t_memory = bytes_moved / (
+            self.memory_bandwidth * self.bandwidth_efficiency
+        )
+        return max(t_compute, t_memory) + self.kernel_overhead
+
+
+A100_80GB = HardwareSpec(
+    name="A100-80GB-SXM",
+    peak_flops=312e12,  # fp16 tensor core
+    memory_bandwidth=2.039e12,  # HBM2e
+)

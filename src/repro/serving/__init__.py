@@ -1,0 +1,22 @@
+"""Serving-layer simulation: queueing consequences of faster prefill.
+
+Public API::
+
+    from repro.serving import (
+        Request, RequestMetrics, poisson_workload, ServingSimulator,
+    )
+"""
+
+from .simulator import (
+    Request,
+    RequestMetrics,
+    ServingSimulator,
+    poisson_workload,
+)
+
+__all__ = [
+    "Request",
+    "RequestMetrics",
+    "ServingSimulator",
+    "poisson_workload",
+]

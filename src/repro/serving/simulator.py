@@ -1,0 +1,232 @@
+"""Single-replica serving simulator (paper Appendix A.6 context).
+
+The paper's Table 4 measures TTFT inside a real serving stack
+(text-generation-inference, TP=4/PP=2, chunked prefill) and Appendix A.6
+discusses the serving engineering SampleAttention still needs.  This
+discrete-event simulator studies the *system-level* consequence of faster
+prefill: under a stream of long-context requests, prefill time is not just
+per-request latency -- it is queueing delay for everyone behind it, so a
+2x attention speedup compounds into larger p95 TTFT wins at high load.
+
+The model is deliberately simple and explicit:
+
+* one replica, one queue;
+* prefill runs in chunks (``chunk_size`` tokens), scheduled either FCFS or
+  round-robin across queued requests (fairness vs latency trade-off);
+* decoding is batch-1 sequential after prefill completes, billed with the
+  roofline decode cost.
+
+Kernel times come from :class:`~repro.perf.latency.LatencyModel`, so the
+simulator inherits its calibration (paper anchors or measured substrate
+densities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..perf.latency import LatencyModel
+
+__all__ = ["Request", "RequestMetrics", "poisson_workload", "ServingSimulator"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: int
+    arrival: float
+    prompt_len: int
+    decode_tokens: int = 32
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1 or self.decode_tokens < 0 or self.arrival < 0:
+            raise ConfigError(f"invalid request {self!r}")
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Per-request outcome."""
+
+    request_id: int
+    arrival: float
+    first_token: float
+    finish: float
+
+    @property
+    def ttft(self) -> float:
+        """Arrival to first token: queueing + prefill."""
+        return self.first_token - self.arrival
+
+
+def poisson_workload(
+    rng: np.random.Generator,
+    *,
+    rate_per_s: float,
+    duration_s: float,
+    prompt_lens: tuple[int, ...] = (32768, 65536, 98304),
+    decode_tokens: int = 32,
+) -> list[Request]:
+    """Poisson arrivals with prompt lengths drawn uniformly from a menu."""
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise ConfigError("rate_per_s and duration_s must be positive")
+    requests = []
+    t = 0.0
+    i = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_s))
+        if t >= duration_s:
+            break
+        requests.append(
+            Request(
+                request_id=i,
+                arrival=t,
+                prompt_len=int(rng.choice(prompt_lens)),
+                decode_tokens=decode_tokens,
+            )
+        )
+        i += 1
+    return requests
+
+
+@dataclass
+class _Job:
+    request: Request
+    chunks_left: list[tuple[int, int]]  # (chunk_len, history_before_chunk)
+    decode_left: int
+    first_token: float | None = None
+
+
+class ServingSimulator:
+    """Chunk-granular serving of a request stream on one replica.
+
+    Parameters
+    ----------
+    latency_model:
+        Roofline model billing prefill chunks and decode steps.
+    method:
+        Prefill attention implementation (``"flash"`` or ``"sample"``).
+    alpha:
+        CRA threshold when ``method == "sample"``.
+    chunk_size:
+        Prefill chunk length in tokens (scheduling granularity).
+    scheduler:
+        ``"fcfs"`` (run each request to completion) or ``"round_robin"``
+        (rotate one chunk per queued request -- fair, more overhead).
+    """
+
+    def __init__(
+        self,
+        latency_model: LatencyModel,
+        *,
+        method: str = "flash",
+        alpha: float = 0.95,
+        chunk_size: int = 8192,
+        scheduler: str = "fcfs",
+    ) -> None:
+        if method not in ("flash", "sample", "sdpa"):
+            raise ConfigError(f"unknown method {method!r}")
+        if scheduler not in ("fcfs", "round_robin"):
+            raise ConfigError(f"unknown scheduler {scheduler!r}")
+        if chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        self.latency_model = latency_model
+        self.method = method
+        self.alpha = alpha
+        self.chunk_size = chunk_size
+        self.scheduler = scheduler
+
+    # ----------------------------------------------------------- cost model
+    def _chunk_seconds(self, chunk_len: int, history: int) -> float:
+        """Bill a prefill chunk as its share of the full-prompt prefill.
+
+        The quadratic attention work of a chunk ending at position ``e =
+        history + chunk_len`` equals ``ttft(e) - ttft(history)`` to first
+        order, which keeps the sum over chunks equal to the monolithic
+        prefill cost regardless of chunking.
+        """
+        end = history + chunk_len
+        t_end = self.latency_model.ttft(end, self.method, alpha=self.alpha)
+        t_hist = (
+            self.latency_model.ttft(history, self.method, alpha=self.alpha)
+            if history > 0
+            else 0.0
+        )
+        return max(t_end - t_hist, 0.0)
+
+    def _decode_seconds(self, job: _Job) -> float:
+        return self.latency_model.decode_latency(job.request.prompt_len)
+
+    # -------------------------------------------------------------- runner
+    def run(self, requests: list[Request]) -> list[RequestMetrics]:
+        """Simulate the stream; returns per-request metrics sorted by id."""
+        pending = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        queue: list[_Job] = []
+        metrics: list[RequestMetrics] = []
+        now = 0.0
+        idx = 0
+
+        def admit(until: float) -> None:
+            nonlocal idx
+            while idx < len(pending) and pending[idx].arrival <= until:
+                r = pending[idx]
+                chunks = []
+                done = 0
+                while done < r.prompt_len:
+                    step = min(self.chunk_size, r.prompt_len - done)
+                    chunks.append((step, done))
+                    done += step
+                queue.append(_Job(request=r, chunks_left=chunks,
+                                  decode_left=r.decode_tokens))
+                idx += 1
+
+        admit(0.0)
+        while queue or idx < len(pending):
+            if not queue:
+                now = max(now, pending[idx].arrival)
+                admit(now)
+                continue
+
+            job = queue[0]
+            if job.chunks_left:
+                chunk_len, history = job.chunks_left.pop(0)
+                now += self._chunk_seconds(chunk_len, history)
+                if not job.chunks_left:
+                    job.first_token = now  # prefill done = first token out
+            elif job.decode_left > 0:
+                now += self._decode_seconds(job) * job.decode_left
+                job.decode_left = 0
+
+            if not job.chunks_left and job.decode_left == 0:
+                queue.pop(0)
+                metrics.append(
+                    RequestMetrics(
+                        request_id=job.request.request_id,
+                        arrival=job.request.arrival,
+                        first_token=float(job.first_token),
+                        finish=now,
+                    )
+                )
+            elif self.scheduler == "round_robin":
+                queue.append(queue.pop(0))
+            admit(now)
+
+        return sorted(metrics, key=lambda m: m.request_id)
+
+    # ------------------------------------------------------------- summary
+    @staticmethod
+    def summarize(metrics: list[RequestMetrics]) -> dict[str, float]:
+        """Mean/p50/p95 TTFT and makespan for a finished run."""
+        if not metrics:
+            raise ConfigError("metrics must be non-empty")
+        ttfts = np.array([m.ttft for m in metrics])
+        return {
+            "n_requests": float(len(metrics)),
+            "mean_ttft_s": float(ttfts.mean()),
+            "p50_ttft_s": float(np.percentile(ttfts, 50)),
+            "p95_ttft_s": float(np.percentile(ttfts, 95)),
+            "makespan_s": float(max(m.finish for m in metrics)),
+        }

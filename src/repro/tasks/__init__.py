@@ -1,0 +1,41 @@
+"""Synthetic long-context task suites: Needle-in-a-Haystack, a LongBench
+analogue (six categories) and a BABILong analogue (four generative tasks).
+
+Public API::
+
+    from repro.tasks import (
+        TaskCase, evaluate_cases, score_tokens,
+        make_needle_case, needle_grid,
+        make_longbench_case, longbench_suite, LONGBENCH_CATEGORIES,
+        make_babilong_case, babilong_suite, BABILONG_TASKS,
+    )
+"""
+
+from .babilong import BABILONG_TASKS, babilong_suite, make_babilong_case
+from .base import (
+    CaseResult,
+    PromptBuilder,
+    TaskCase,
+    evaluate_case,
+    evaluate_cases,
+    score_tokens,
+)
+from .longbench import LONGBENCH_CATEGORIES, longbench_suite, make_longbench_case
+from .needle import make_needle_case, needle_grid
+
+__all__ = [
+    "TaskCase",
+    "CaseResult",
+    "PromptBuilder",
+    "evaluate_case",
+    "evaluate_cases",
+    "score_tokens",
+    "make_needle_case",
+    "needle_grid",
+    "make_longbench_case",
+    "longbench_suite",
+    "LONGBENCH_CATEGORIES",
+    "make_babilong_case",
+    "babilong_suite",
+    "BABILONG_TASKS",
+]

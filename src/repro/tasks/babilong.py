@@ -1,0 +1,138 @@
+"""BABILong-analogue generative suite (Kuratov et al. 2024; paper Table 2,
+Figure 7).
+
+bAbI-style fact chains are scattered through long distractor text at a
+configurable total length (BABILong's defining feature).  Four task types
+map onto the constructed circuits:
+
+* **qa1** -- single supporting fact with *updates*: a person moves several
+  times; the latest location wins (exercises the induction head's recency
+  tie-break).
+* **qa2** -- two-hop chain: object -> holder -> holder's location.
+* **qa3** -- single fact among many persons' facts (distractor bindings).
+* **qa4** -- object transfer: the object changes hands, then the final
+  holder moves; three-entity chain resolved by recency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TaskError
+from ..vocab import DEFAULT_VOCAB, Vocabulary
+from .base import PromptBuilder, TaskCase
+
+__all__ = ["BABILONG_TASKS", "make_babilong_case", "babilong_suite"]
+
+BABILONG_TASKS = ("qa1", "qa2", "qa3", "qa4")
+
+
+def _moved(v: Vocabulary, person: int, loc: int) -> list[int]:
+    """"<person> moved to <loc>" -- encoded so ``loc`` succeeds ``person``
+    (the adjacency the induction circuit reads)."""
+    return [v.MOVED, person, loc, v.FACT_SEP]
+
+
+def _took(v: Vocabulary, obj: int, person: int) -> list[int]:
+    """"<obj> was taken by <person>"."""
+    return [v.TOOK, obj, person, v.FACT_SEP]
+
+
+def _sample_people_and_places(
+    v: Vocabulary, rng: np.random.Generator, n_people: int, n_places: int
+):
+    """Persons and locations both come from the orthonormal entity pool --
+    a 'named entity' sub-vocabulary with exact matching margins, mirroring
+    bAbI's tiny closed world of names and places."""
+    picks = rng.choice(v.entity_ids, size=n_people + n_places, replace=False)
+    people = [int(t) for t in picks[:n_people]]
+    places = [int(t) for t in picks[n_people:]]
+    return people, places
+
+
+def _qa1(b: PromptBuilder, v: Vocabulary, rng: np.random.Generator):
+    (person,), locs = _sample_people_and_places(v, rng, 1, 3)
+    # Wide, deterministic spacing: the recency tie-break resolves bindings
+    # separated by a constant *fraction* of the context.
+    offsets = np.array([0.12, 0.45, 0.8]) + rng.uniform(-0.04, 0.04, size=3)
+    for i, (off, loc) in enumerate(zip(np.sort(offsets), locs)):
+        b.add_segment(float(off), _moved(v, person, loc), name=f"move{i}")
+    b.set_question([v.WHERE, person])
+    return (locs[-1],)  # the latest binding
+
+
+def _qa2(b: PromptBuilder, v: Vocabulary, rng: np.random.Generator):
+    (obj, person), (loc,) = _sample_people_and_places(v, rng, 2, 1)
+    hop1 = float(rng.uniform(0.05, 0.4))
+    hop2 = float(rng.uniform(0.5, 0.9))  # strictly after hop 1
+    b.add_segment(hop1, _took(v, obj, person), name="took")
+    b.add_segment(hop2, _moved(v, person, loc), name="moved")
+    b.set_question([v.WHERE, obj])
+    return (person, loc)
+
+
+def _qa3(b: PromptBuilder, v: Vocabulary, rng: np.random.Generator):
+    persons, locs = _sample_people_and_places(v, rng, 5, 5)
+    for i, (p, loc) in enumerate(zip(persons, locs)):
+        b.add_segment(
+            float(rng.uniform(0.05, 0.9)), _moved(v, int(p), int(loc)), name=f"fact{i}"
+        )
+    target = int(rng.integers(0, 5))
+    b.set_question([v.WHERE, int(persons[target])])
+    return (int(locs[target]),)
+
+
+def _qa4(b: PromptBuilder, v: Vocabulary, rng: np.random.Generator):
+    (obj, p1, p2), (loc,) = _sample_people_and_places(v, rng, 3, 1)
+    t0, t1, t2 = np.array([0.15, 0.5, 0.82]) + rng.uniform(-0.05, 0.05, size=3)
+    b.add_segment(float(t0), _took(v, obj, p1), name="took1")
+    b.add_segment(float(t1), _took(v, obj, p2), name="took2")
+    b.add_segment(float(t2), _moved(v, p2, loc), name="moved")
+    b.set_question([v.WHERE, obj])
+    return (p2, loc)
+
+
+_GENERATORS = {"qa1": _qa1, "qa2": _qa2, "qa3": _qa3, "qa4": _qa4}
+
+
+def make_babilong_case(
+    task: str,
+    length: int,
+    *,
+    vocab: Vocabulary = DEFAULT_VOCAB,
+    rng: np.random.Generator | None = None,
+) -> TaskCase:
+    """One BABILong case of the given task at the given total length."""
+    if task not in _GENERATORS:
+        raise TaskError(f"unknown task {task!r}; expected one of {BABILONG_TASKS}")
+    rng = rng or np.random.default_rng(0)
+    b = PromptBuilder(vocab, rng, length)
+    answer = _GENERATORS[task](b, vocab, rng)
+    prompt, positions = b.build()
+    return TaskCase(
+        prompt=prompt,
+        answer=tuple(answer),
+        category=task,
+        meta={"length": length, "positions": positions},
+    )
+
+
+def babilong_suite(
+    lengths: list[int],
+    cases_per_task: int = 4,
+    *,
+    vocab: Vocabulary = DEFAULT_VOCAB,
+    seed: int = 0,
+    tasks: tuple[str, ...] = BABILONG_TASKS,
+) -> list[TaskCase]:
+    """Every task at round-robin lengths (BABILong sweeps 4K-88K; see
+    DESIGN.md for the CPU-scale mapping)."""
+    if cases_per_task < 1:
+        raise TaskError("cases_per_task must be >= 1")
+    rng = np.random.default_rng(seed)
+    cases = []
+    for task in tasks:
+        for i in range(cases_per_task):
+            length = int(lengths[i % len(lengths)])
+            cases.append(make_babilong_case(task, length, vocab=vocab, rng=rng))
+    return cases

@@ -1,0 +1,85 @@
+"""Needle-in-a-Haystack task (Kamradt 2023; paper Section 5.1, Figure 4).
+
+A single two-token fact ("needle") is buried at a controlled depth inside
+distractor text; the model must retrieve it from a query at the end.  The
+paper sweeps 10K-96K tokens with 32 depth intervals; the substrate sweep
+covers the same *relative* grid at CPU-scale lengths (see DESIGN.md's scale
+note), and the ``--full`` harness path evaluates paper-scale lengths through
+the cost model only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TaskError
+from ..vocab import DEFAULT_VOCAB, Vocabulary
+from .base import PromptBuilder, TaskCase
+
+__all__ = ["make_needle_case", "needle_grid"]
+
+
+def make_needle_case(
+    length: int,
+    depth_frac: float,
+    *,
+    vocab: Vocabulary = DEFAULT_VOCAB,
+    rng: np.random.Generator | None = None,
+    n_distractors: int = 2,
+) -> TaskCase:
+    """One needle case: fact at ``depth_frac``, question at the end.
+
+    Distractor facts with *different* keys are planted elsewhere so the task
+    requires keyed retrieval, not just "find the only marker".
+    """
+    if not 0.0 <= depth_frac <= 1.0:
+        raise TaskError(f"depth_frac must be in [0, 1], got {depth_frac}")
+    rng = rng or np.random.default_rng(0)
+    b = PromptBuilder(vocab, rng, length)
+
+    keys = rng.choice(vocab.entity_ids, size=n_distractors + 1, replace=False)
+    values = rng.choice(vocab.value_ids, size=2 * (n_distractors + 1), replace=False)
+    key = int(keys[0])
+    v1, v2 = int(values[0]), int(values[1])
+
+    b.add_segment(
+        depth_frac, [vocab.FACT_SEP, key, v1, v2, vocab.FACT_SEP], name="needle"
+    )
+    for i in range(n_distractors):
+        dk = int(keys[i + 1])
+        dv1, dv2 = int(values[2 * i + 2]), int(values[2 * i + 3])
+        b.add_segment(
+            float(rng.uniform(0.05, 0.95)),
+            [vocab.FACT_SEP, dk, dv1, dv2, vocab.FACT_SEP],
+            name=f"distractor{i}",
+        )
+    b.set_question([vocab.QUERY, key])
+    prompt, positions = b.build()
+    return TaskCase(
+        prompt=prompt,
+        answer=(v1, v2),
+        category="needle",
+        meta={"depth": depth_frac, "length": length, "positions": positions},
+    )
+
+
+def needle_grid(
+    lengths: list[int],
+    n_depths: int = 32,
+    *,
+    vocab: Vocabulary = DEFAULT_VOCAB,
+    seed: int = 0,
+) -> list[TaskCase]:
+    """The paper's evaluation grid: ``lengths x n_depths`` cases.
+
+    Depths are evenly spaced in [0, 1] (the paper uses 32 intervals).
+    """
+    if n_depths < 1:
+        raise TaskError(f"n_depths must be >= 1, got {n_depths}")
+    rng = np.random.default_rng(seed)
+    depths = np.linspace(0.0, 1.0, n_depths)
+    return [
+        make_needle_case(length, float(d), vocab=vocab, rng=rng)
+        for length in lengths
+        for d in depths
+    ]

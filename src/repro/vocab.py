@@ -1,0 +1,198 @@
+"""Synthetic token vocabulary shared by the model substrate and the tasks.
+
+The vocabulary is partitioned into pools with different roles:
+
+* **markers** -- structural tokens (BOS, separators, query markers).  They
+  carry the *salience* flag, so the constructed salience heads produce the
+  paper's column-stripe attention at fact positions, and most are embedded
+  orthonormally for maximal matching margins.
+* **entities** -- task keys: needle keys, persons, document ids, function
+  names, few-shot class tokens.  Embedded orthonormally (up to the
+  embedding width) so key matching is exact.
+* **values** -- answer tokens: needle values, locations, labels, code
+  arguments.  Random unit embeddings.
+* **filler** -- distractor text tokens, sampled Zipf-style.
+
+Token ids are stable across runs; everything downstream (tasks, presets,
+scoring) addresses tokens through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import TaskError
+
+__all__ = ["Vocabulary", "DEFAULT_VOCAB"]
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """Partitioned synthetic vocabulary.
+
+    Parameters
+    ----------
+    size:
+        Total vocabulary size; must cover the fixed pool layout (>= 256).
+    n_entities, n_values:
+        Pool sizes; filler takes the remainder.
+    """
+
+    size: int = 1024
+    n_entities: int = 32
+    n_values: int = 144
+
+    # -- structural markers (fixed ids) ------------------------------------
+    BOS: int = 0
+    EOS: int = 1
+    FACT_SEP: int = 2  # terminates an embedded fact
+    QUERY: int = 3  # single-fact question marker
+    TITLE: int = 4  # document title marker
+    SUMMARIZE: int = 5  # summarisation question marker
+    INPUT: int = 6  # few-shot example input marker
+    LABEL: int = 7  # few-shot label marker
+    CODE_DEF: int = 8  # function definition keyword
+    CODE_OPEN: int = 9  # "("
+    CODE_CLOSE: int = 10  # ")"
+    CODE_COMMA: int = 11  # ","
+    WHERE: int = 12  # babilong location question marker
+    MOVED: int = 13  # babilong "moved to" relation
+    TOOK: int = 14  # babilong "took" relation
+    DOC_SEP: int = 15  # document boundary
+
+    _N_MARKERS: int = 16
+
+    def __post_init__(self) -> None:
+        if self.size < self._N_MARKERS + self.n_entities + self.n_values + 64:
+            raise TaskError(
+                f"vocabulary size {self.size} too small for pools "
+                f"({self._N_MARKERS} markers + {self.n_entities} entities + "
+                f"{self.n_values} values + >=64 filler)"
+            )
+
+    # ------------------------------------------------------------- pools
+    @property
+    def entity_ids(self) -> np.ndarray:
+        start = self._N_MARKERS
+        return np.arange(start, start + self.n_entities, dtype=np.int64)
+
+    @property
+    def value_ids(self) -> np.ndarray:
+        start = self._N_MARKERS + self.n_entities
+        return np.arange(start, start + self.n_values, dtype=np.int64)
+
+    @property
+    def filler_ids(self) -> np.ndarray:
+        start = self._N_MARKERS + self.n_entities + self.n_values
+        return np.arange(start, self.size, dtype=np.int64)
+
+    @property
+    def marker_ids(self) -> np.ndarray:
+        return np.arange(self._N_MARKERS, dtype=np.int64)
+
+    @property
+    def salient_ids(self) -> tuple[int, ...]:
+        """Tokens flagged salient in the embedding (stripe anchors)."""
+        return (
+            self.FACT_SEP,
+            self.QUERY,
+            self.TITLE,
+            self.SUMMARIZE,
+            self.INPUT,
+            self.LABEL,
+            self.CODE_DEF,
+            self.WHERE,
+            self.DOC_SEP,
+        )
+
+    @property
+    def suppressed_ids(self) -> tuple[int, ...]:
+        """Tokens a trained LM head would essentially never emit as an
+        answer (structural separators); receive a negative output bias.
+        Code punctuation stays emittable (signatures contain it)."""
+        return (
+            self.BOS,
+            self.EOS,
+            self.FACT_SEP,
+            self.QUERY,
+            self.TITLE,
+            self.SUMMARIZE,
+            self.INPUT,
+            self.LABEL,
+            self.CODE_DEF,
+            self.WHERE,
+            self.MOVED,
+            self.TOOK,
+            self.DOC_SEP,
+        )
+
+    @property
+    def orthonormal_ids(self) -> tuple[int, ...]:
+        """Tokens given exactly orthonormal embeddings (markers + entities),
+        truncated by the compiler to the embedding width."""
+        return tuple(self.marker_ids.tolist()) + tuple(self.entity_ids.tolist())
+
+    # ------------------------------------------------------------ sampling
+    def sample_filler(
+        self, rng: np.random.Generator, n: int, *, zipf_s: float = 0.6
+    ) -> np.ndarray:
+        """Zipf-distributed filler tokens with occasional repeated phrases.
+
+        Phrase repetition (a short n-gram re-emitted later) is what gives
+        real text its induction-head stripes; ~10% of tokens belong to
+        repeated phrases.
+        """
+        if n < 0:
+            raise TaskError(f"n must be >= 0, got {n}")
+        pool = self.filler_ids
+        ranks = np.arange(1, pool.size + 1, dtype=np.float64)
+        probs = ranks ** (-zipf_s)
+        probs /= probs.sum()
+        tokens = rng.choice(pool, size=max(n, 0), p=probs)
+        # Re-emit a few phrases to create genuine repeated n-grams.
+        if n >= 64:
+            n_phrases = max(1, n // 256)
+            for _ in range(n_phrases):
+                ln = int(rng.integers(4, 9))
+                src = int(rng.integers(0, n - ln))
+                dst = int(rng.integers(0, n - ln))
+                tokens[dst : dst + ln] = tokens[src : src + ln]
+        return tokens.astype(np.int64)
+
+    def decode(self, tokens: np.ndarray | list[int]) -> str:
+        """Human-readable rendering for debugging."""
+        names = {
+            self.BOS: "<bos>",
+            self.EOS: "<eos>",
+            self.FACT_SEP: "<fact/>",
+            self.QUERY: "<query>",
+            self.TITLE: "<title>",
+            self.SUMMARIZE: "<summarize>",
+            self.INPUT: "<input>",
+            self.LABEL: "<label>",
+            self.CODE_DEF: "def",
+            self.CODE_OPEN: "(",
+            self.CODE_CLOSE: ")",
+            self.CODE_COMMA: ",",
+            self.WHERE: "<where>",
+            self.MOVED: "moved_to",
+            self.TOOK: "took",
+            self.DOC_SEP: "<doc/>",
+        }
+        parts = []
+        for t in np.asarray(tokens, dtype=np.int64):
+            t = int(t)
+            if t in names:
+                parts.append(names[t])
+            elif t in self.entity_ids:
+                parts.append(f"E{t - self._N_MARKERS}")
+            elif t in self.value_ids:
+                parts.append(f"V{t - self._N_MARKERS - self.n_entities}")
+            else:
+                parts.append(f"w{t}")
+        return " ".join(parts)
+
+
+DEFAULT_VOCAB = Vocabulary()

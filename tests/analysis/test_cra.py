@@ -1,0 +1,93 @@
+"""Tests for CRA computation (paper Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cra, stripe_mask_from_indices, topk_stripe_cra
+from repro.attention import attention_probs
+from repro.errors import ShapeError
+from tests.conftest import random_qkv
+
+
+class TestCra:
+    def test_full_mask_gives_one(self, rng):
+        q, k, _ = random_qkv(rng, h=2, s=32, d=8)
+        probs = attention_probs(q, k)
+        full = np.ones((32, 32), dtype=bool)
+        np.testing.assert_allclose(cra(probs, full), 1.0, atol=1e-5)
+
+    def test_empty_mask_gives_zero(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=16, d=4)
+        probs = attention_probs(q, k)
+        assert cra(probs, np.zeros((16, 16), bool))[0] == 0.0
+
+    def test_min_over_rows(self):
+        # Row 0 keeps 1.0, row 1 keeps 0.3 -> CRA is 0.3.
+        probs = np.array([[1.0, 0.0], [0.7, 0.3]])
+        mask = np.array([[True, False], [False, True]])
+        assert cra(probs, mask)[0] == pytest.approx(0.3)
+
+    def test_2d_and_3d_agree(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=16, d=4)
+        probs = attention_probs(q, k)
+        mask = np.tril(np.ones((16, 16), bool))
+        assert cra(probs, mask)[0] == cra(probs[0], mask)[0]
+
+    def test_rejects_non_bool_mask(self):
+        with pytest.raises(ShapeError):
+            cra(np.ones((2, 2)) / 2, np.ones((2, 2)))
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ShapeError):
+            cra(np.ones(4), np.ones(4, dtype=bool))
+
+
+class TestStripeMask:
+    def test_columns_set(self):
+        m = stripe_mask_from_indices(8, 8, np.array([2, 5]))
+        assert m[7, 2] and m[7, 5]
+        assert not m[7, 3]
+
+    def test_causal_clip(self):
+        m = stripe_mask_from_indices(8, 8, np.array([5]))
+        assert not m[2, 5]
+
+    def test_window_band(self):
+        m = stripe_mask_from_indices(8, 8, np.array([], dtype=np.int64), window=2)
+        assert m[5, 5] and m[5, 4] and not m[5, 3]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            stripe_mask_from_indices(4, 4, np.array([4]))
+
+
+class TestTopkStripeCra:
+    def test_monotone_in_ratio(self, rng):
+        q, k, _ = random_qkv(rng, h=2, s=64, d=8)
+        probs = attention_probs(q, k)
+        vals = topk_stripe_cra(probs, [0.1, 0.3, 0.6, 1.0])
+        assert np.all(np.diff(vals, axis=1) >= -1e-9)
+
+    def test_ratio_one_with_window_is_full(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=32, d=8)
+        probs = attention_probs(q, k)
+        vals = topk_stripe_cra(probs, [1.0], window=1)
+        np.testing.assert_allclose(vals, 1.0, atol=1e-5)
+
+    def test_planted_stripe_found_early(self, rng):
+        # One column dominating every row should already give high CRA at
+        # a tiny stripe ratio plus a small window.
+        s = 64
+        probs = np.full((1, s, s), 1e-4)
+        for i in range(s):
+            probs[0, i, min(5, i)] = 1.0
+            probs[0, i] /= probs[0, i, : i + 1].sum()
+            probs[0, i, i + 1 :] = 0.0
+        vals = topk_stripe_cra(probs, [0.05], window=4)
+        assert vals[0, 0] > 0.9
+
+    def test_rejects_bad_ratio(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=16, d=4)
+        probs = attention_probs(q, k)
+        with pytest.raises(ShapeError):
+            topk_stripe_cra(probs, [1.5])

@@ -1,0 +1,63 @@
+"""Tests for the ASCII attention visualiser."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_heatmap, attention_heatmap, pool_matrix
+from repro.errors import ConfigError, ShapeError
+
+
+class TestPoolMatrix:
+    def test_shape(self, rng):
+        m = rng.random((100, 60))
+        assert pool_matrix(m, 10, 6).shape == (10, 6)
+
+    def test_mean_preserved_exact_division(self, rng):
+        m = rng.random((8, 8))
+        pooled = pool_matrix(m, 2, 2)
+        np.testing.assert_allclose(pooled[0, 0], m[:4, :4].mean())
+
+    def test_upsample_small_matrix(self):
+        m = np.array([[1.0, 2.0], [3.0, 4.0]])
+        pooled = pool_matrix(m, 4, 4)
+        assert pooled.shape == (4, 4)
+        assert np.isfinite(pooled).all()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ShapeError):
+            pool_matrix(np.ones(4), 2, 2)
+        with pytest.raises(ConfigError):
+            pool_matrix(np.ones((4, 4)), 0, 2)
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self, rng):
+        art = ascii_heatmap(rng.random((200, 200)), rows=12, cols=40)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(l) == 40 for l in lines)
+
+    def test_constant_matrix_single_glyph(self):
+        art = ascii_heatmap(np.ones((16, 16)), rows=4, cols=4, log_scale=False)
+        assert len(set(art.replace("\n", ""))) == 1
+
+    def test_peak_gets_top_glyph(self):
+        m = np.zeros((8, 8))
+        m[4, 4] = 1.0
+        art = ascii_heatmap(m, rows=8, cols=8, log_scale=False)
+        assert art.splitlines()[4][4] == "@"
+
+    def test_attention_heatmap_head_selection(self, rng):
+        probs = rng.random((3, 64, 64))
+        a = attention_heatmap(probs, head=1, rows=8, cols=8)
+        b = ascii_heatmap(probs[1], rows=8, cols=8)
+        assert a == b
+
+    def test_diagonal_pattern_visible(self):
+        s = 128
+        m = np.zeros((s, s))
+        m[np.arange(s), np.arange(s)] = 1.0
+        art = ascii_heatmap(m, rows=8, cols=8, log_scale=False)
+        lines = art.splitlines()
+        for i in range(8):
+            assert lines[i][i] == "@"

@@ -1,0 +1,93 @@
+"""Tests for the block-sparse online-softmax kernel."""
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    block_sparse_attention,
+    causal_block_mask,
+    dense_attention,
+    sink_block_mask,
+    stripe_block_mask,
+    window_block_mask,
+)
+from repro.errors import MaskError
+from tests.conftest import random_qkv
+
+
+class TestBlockSparseAttention:
+    def test_full_causal_mask_matches_dense(self, rng):
+        q, k, v = random_qkv(rng, h=3, s=150, d=16)
+        mask = causal_block_mask(3, 150, 150, 32)
+        res = block_sparse_attention(q, k, v, mask)
+        ref = dense_attention(q, k, v).output
+        np.testing.assert_allclose(res.output, ref, atol=2e-5)
+        assert res.density == pytest.approx(1.0)
+
+    def test_matches_dense_under_same_elementwise_mask(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=128, d=8)
+        mask = window_block_mask(2, 128, 128, 32, 48) | sink_block_mask(
+            2, 128, 128, 32, 4
+        )
+        res = block_sparse_attention(q, k, v, mask)
+        ref = dense_attention(q, k, v, mask=mask.to_dense()).output
+        np.testing.assert_allclose(res.output, ref, atol=2e-5)
+
+    def test_per_head_masks_differ(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=128, d=8)
+        mask = window_block_mask(2, 128, 128, 32, 8) | stripe_block_mask(
+            [np.array([0]), np.array([0, 40])], 128, 128, 32
+        )
+        res = block_sparse_attention(q, k, v, mask)
+        ref = dense_attention(q, k, v, mask=mask.to_dense()).output
+        np.testing.assert_allclose(res.output, ref, atol=2e-5)
+        assert res.visited_blocks[1] > res.visited_blocks[0]
+
+    def test_gqa(self, rng):
+        q, k, v = random_qkv(rng, h=4, s=64, d=8, h_kv=2)
+        mask = causal_block_mask(4, 64, 64, 16)
+        res = block_sparse_attention(q, k, v, mask)
+        ref = dense_attention(q, k, v).output
+        np.testing.assert_allclose(res.output, ref, atol=2e-5)
+
+    def test_visited_blocks_counts_skips(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=128, d=8)
+        sparse = window_block_mask(1, 128, 128, 32, 1)
+        dense_m = causal_block_mask(1, 128, 128, 32)
+        r_sparse = block_sparse_attention(q, k, v, sparse)
+        r_dense = block_sparse_attention(q, k, v, dense_m)
+        assert r_sparse.visited_blocks[0] < r_dense.visited_blocks[0]
+        assert r_dense.visited_blocks[0] == r_dense.total_causal_blocks
+
+    def test_fully_masked_rows_output_zero(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=64, d=8)
+        mask = sink_block_mask(1, 64, 64, 32, 0)  # empty mask
+        res = block_sparse_attention(q, k, v, mask)
+        np.testing.assert_array_equal(res.output, 0.0)
+
+    def test_rejects_head_mismatch(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=64, d=8)
+        mask = causal_block_mask(3, 64, 64, 32)
+        with pytest.raises(MaskError):
+            block_sparse_attention(q, k, v, mask)
+
+    def test_rejects_geometry_mismatch(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=64, d=8)
+        mask = causal_block_mask(2, 96, 96, 32)
+        with pytest.raises(MaskError):
+            block_sparse_attention(q, k, v, mask)
+
+    def test_right_aligned_queries(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=96, d=8)
+        q_tail = q[:, -32:, :]
+        mask = causal_block_mask(2, 32, 96, 32)
+        res = block_sparse_attention(q_tail, k, v, mask)
+        ref = dense_attention(q_tail, k, v).output
+        np.testing.assert_allclose(res.output, ref, atol=2e-5)
+
+    def test_odd_lengths(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=77, d=8)
+        mask = causal_block_mask(1, 77, 77, 32)
+        res = block_sparse_attention(q, k, v, mask)
+        ref = dense_attention(q, k, v).output
+        np.testing.assert_allclose(res.output, ref, atol=2e-5)

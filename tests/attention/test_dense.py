@@ -1,0 +1,105 @@
+"""Tests for the dense (gold standard) attention kernel."""
+
+import numpy as np
+import pytest
+
+from repro.attention import attention_probs, dense_attention
+from repro.attention.utils import causal_mask, softmax
+from repro.errors import MaskError
+from tests.conftest import random_qkv
+
+
+def naive_attention(q, k, v, causal=True):
+    """Straight-line reference for a single head."""
+    d = q.shape[-1]
+    scores = (q @ k.T) / np.sqrt(d)
+    if causal:
+        mask = causal_mask(q.shape[0], k.shape[0])
+        scores = np.where(mask, scores, -1e30)
+    p = softmax(scores)
+    return p @ v
+
+
+class TestDenseAttention:
+    def test_matches_naive_per_head(self, rng):
+        q, k, v = random_qkv(rng, h=3, s=64, d=16)
+        out = dense_attention(q, k, v).output
+        for h in range(3):
+            np.testing.assert_allclose(
+                out[h], naive_attention(q[h], k[h], v[h]), atol=1e-5
+            )
+
+    def test_non_causal(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=32, d=8)
+        out = dense_attention(q, k, v, causal=False).output
+        np.testing.assert_allclose(
+            out[0], naive_attention(q[0], k[0], v[0], causal=False), atol=1e-5
+        )
+
+    def test_probs_row_stochastic(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=32, d=8)
+        probs = dense_attention(q, k, v, return_probs=True).probs
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+        # Causal: strictly-upper entries are zero.
+        upper = ~causal_mask(32, 32)
+        assert np.all(probs[:, upper] == 0.0)
+
+    def test_probs_none_by_default(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=8, d=4)
+        assert dense_attention(q, k, v).probs is None
+
+    def test_gqa_equals_repeated(self, rng):
+        q, k, v = random_qkv(rng, h=4, s=48, d=8, h_kv=2)
+        out = dense_attention(q, k, v).output
+        k_full = np.repeat(k, 2, axis=0)
+        v_full = np.repeat(v, 2, axis=0)
+        ref = dense_attention(q, k_full, v_full).output
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_decode_single_query(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=40, d=8)
+        full = dense_attention(q, k, v).output
+        step = dense_attention(q[:, -1:, :], k, v).output
+        np.testing.assert_allclose(step[:, 0], full[:, -1], atol=1e-5)
+
+    def test_extra_mask_2d(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=16, d=4)
+        only_diag = np.eye(16, dtype=bool)
+        out = dense_attention(q, k, v, mask=only_diag).output
+        # Each row attends only to itself -> output equals v.
+        np.testing.assert_allclose(out, v, atol=1e-5)
+
+    def test_extra_mask_3d_per_head(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=16, d=4)
+        mask = np.ones((2, 16, 16), dtype=bool)
+        mask[1] = np.eye(16, dtype=bool)
+        out = dense_attention(q, k, v, mask=mask).output
+        np.testing.assert_allclose(out[1], v[1], atol=1e-5)
+
+    def test_rejects_non_boolean_mask(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=8, d=4)
+        with pytest.raises(MaskError):
+            dense_attention(q, k, v, mask=np.ones((8, 8), dtype=np.int32))
+
+    def test_rejects_bad_mask_shape(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=8, d=4)
+        with pytest.raises(MaskError):
+            dense_attention(q, k, v, mask=np.ones((7, 8), dtype=bool))
+
+    def test_custom_scale(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=16, d=4)
+        out1 = dense_attention(q, k, v, scale=0.1).output
+        out2 = dense_attention(q * 0.1 * np.sqrt(4), k, v).output
+        np.testing.assert_allclose(out1, out2, atol=1e-5)
+
+    def test_output_dtype_follows_query(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=8, d=4, dtype=np.float32)
+        assert dense_attention(q, k, v).output.dtype == np.float32
+
+
+class TestAttentionProbs:
+    def test_shortcut_matches_dense(self, rng):
+        q, k, _ = random_qkv(rng, h=2, s=24, d=8)
+        p1 = attention_probs(q, k)
+        p2 = dense_attention(q, k, k, return_probs=True).probs
+        np.testing.assert_allclose(p1, p2, atol=1e-7)

@@ -1,0 +1,62 @@
+"""Tests for the BigBird baseline backend."""
+
+import numpy as np
+import pytest
+
+from repro.attention import dense_attention
+from repro.baselines import BigBirdBackend
+from repro.errors import ConfigError
+from tests.conftest import random_qkv
+
+
+class TestBigBird:
+    def test_output_shape_and_density(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=256, d=8)
+        be = BigBirdBackend(block_size=32)
+        out = be.prefill(q, k, v)
+        assert out.shape == (2, 256, 8)
+        assert 0.0 < be.last_stats()["density"] < 1.0
+
+    def test_mask_contains_window_global_random(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=512, d=8)
+        be = BigBirdBackend(
+            window_ratio=0.05, global_ratio=0.05, random_ratio=0.1, block_size=32
+        )
+        mask = be.build_mask(q, k)
+        dense = mask.to_dense()[0]
+        assert dense[511, 511]  # window diagonal
+        assert dense[511, 0]  # global leading column
+        # Random part: more blocks than window+global alone.
+        be_no_rand = BigBirdBackend(
+            window_ratio=0.05, global_ratio=0.05, random_ratio=0.0, block_size=32
+        )
+        assert mask.blocks.sum() > be_no_rand.build_mask(q, k).blocks.sum()
+
+    def test_deterministic_per_layer(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=1024, d=8)
+        be = BigBirdBackend(seed=3, random_ratio=0.2, block_size=32)
+        m1 = be.build_mask(q, k, layer=1)
+        m2 = be.build_mask(q, k, layer=1)
+        np.testing.assert_array_equal(m1.blocks, m2.blocks)
+        m3 = be.build_mask(q, k, layer=2)
+        assert not np.array_equal(m1.blocks, m3.blocks)
+
+    def test_matches_dense_under_own_mask(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=128, d=8)
+        be = BigBirdBackend(block_size=32)
+        out = be.prefill(q, k, v)
+        mask = be.build_mask(q, k)
+        ref = dense_attention(q, k, v, mask=mask.to_dense()).output
+        np.testing.assert_allclose(out, ref, atol=2e-5)
+
+    def test_full_ratios_recover_dense(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=96, d=8)
+        be = BigBirdBackend(window_ratio=1.0, global_ratio=0.0, random_ratio=0.0)
+        out = be.prefill(q, k, v)
+        ref = dense_attention(q, k, v).output
+        np.testing.assert_allclose(out, ref, atol=2e-5)
+
+    @pytest.mark.parametrize("field", ["window_ratio", "global_ratio", "random_ratio"])
+    def test_rejects_bad_ratios(self, field):
+        with pytest.raises(ConfigError):
+            BigBirdBackend(**{field: 1.5})

@@ -1,0 +1,64 @@
+"""Tests for the H2O heavy-hitter KV-eviction policy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import H2OPolicy
+from repro.errors import ConfigError
+
+
+class TestH2OPolicy:
+    def test_within_budget_keeps_all(self):
+        pol = H2OPolicy(budget=10)
+        keeps = pol.select(np.random.default_rng(0).random((2, 8)))
+        for idx in keeps:
+            np.testing.assert_array_equal(idx, np.arange(8))
+
+    def test_budget_respected(self):
+        pol = H2OPolicy(budget=6)
+        keeps = pol.select(np.random.default_rng(0).random((3, 20)))
+        assert all(len(ix) == 6 for ix in keeps)
+
+    def test_recents_always_kept(self):
+        pol = H2OPolicy(budget=6, recent_fraction=0.5)
+        keeps = pol.select(np.zeros((1, 20)))
+        assert set(range(17, 20)) <= set(keeps[0].tolist())
+
+    def test_heavy_hitters_kept(self):
+        acc = np.zeros((1, 20))
+        acc[0, 2] = 100.0
+        acc[0, 7] = 50.0
+        pol = H2OPolicy(budget=6, recent_fraction=0.5)
+        keeps = pol.select(acc)
+        assert 2 in keeps[0] and 7 in keeps[0]
+
+    def test_recent_fraction_extremes(self):
+        acc = np.random.default_rng(1).random((1, 30))
+        all_recent = H2OPolicy(budget=8, recent_fraction=1.0).select(acc)
+        np.testing.assert_array_equal(all_recent[0], np.arange(22, 30))
+        all_heavy = H2OPolicy(budget=8, recent_fraction=0.0).select(acc)
+        np.testing.assert_array_equal(
+            np.sort(all_heavy[0]), np.sort(np.argsort(-acc[0])[:8])
+        )
+
+    def test_per_head_independence(self):
+        acc = np.zeros((2, 20))
+        acc[0, 1] = 9.0
+        acc[1, 4] = 9.0
+        keeps = H2OPolicy(budget=4, recent_fraction=0.5).select(acc)
+        assert 1 in keeps[0] and 4 in keeps[1]
+
+    def test_indices_sorted(self):
+        keeps = H2OPolicy(budget=5).select(np.random.default_rng(2).random((2, 40)))
+        for ix in keeps:
+            assert np.all(np.diff(ix) > 0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            H2OPolicy(budget=0)
+        with pytest.raises(ConfigError):
+            H2OPolicy(budget=4, recent_fraction=1.5)
+
+    def test_rejects_bad_scores_rank(self):
+        with pytest.raises(ConfigError):
+            H2OPolicy(budget=4).select(np.zeros(10))

@@ -1,0 +1,121 @@
+"""Tests for the LSH-based baselines: HyperAttention and Hash-Sparse."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HashSparseBackend, HyperAttentionBackend, simhash_buckets
+from repro.errors import ConfigError
+from tests.conftest import random_qkv
+
+
+class TestSimhash:
+    def test_bucket_range(self, rng):
+        x = rng.standard_normal((2, 100, 16)).astype(np.float32)
+        buckets, planes = simhash_buckets(x, 4, rng)
+        assert buckets.shape == (2, 100)
+        assert buckets.min() >= 0 and buckets.max() < 16
+        assert planes.shape == (2, 16, 4)
+
+    def test_identical_vectors_same_bucket(self, rng):
+        x = rng.standard_normal((1, 10, 8)).astype(np.float32)
+        x[0, 3] = x[0, 7]
+        buckets, _ = simhash_buckets(x, 6, rng)
+        assert buckets[0, 3] == buckets[0, 7]
+
+    def test_shared_planes_reproducible(self, rng):
+        x = rng.standard_normal((1, 10, 8)).astype(np.float32)
+        b1, planes = simhash_buckets(x, 4, rng)
+        b2, _ = simhash_buckets(x, 4, rng, planes=planes)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ConfigError):
+            simhash_buckets(np.zeros((3, 4)), 4, rng)
+        with pytest.raises(ConfigError):
+            simhash_buckets(np.zeros((1, 3, 4), dtype=np.float32), 0, rng)
+        with pytest.raises(ConfigError):
+            simhash_buckets(
+                np.zeros((1, 3, 4), dtype=np.float32),
+                2,
+                rng,
+                planes=np.zeros((1, 4, 3), dtype=np.float32),
+            )
+
+
+class TestHyperAttention:
+    def test_shapes_and_density(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=256, d=16)
+        be = HyperAttentionBackend(bucket_size=32, sampled_columns=16)
+        out = be.prefill(q, k, v)
+        assert out.shape == (2, 256, 16)
+        assert 0.0 < be.last_stats()["density"] < 1.0
+
+    def test_sampled_columns_always_visible(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=128, d=8)
+        be = HyperAttentionBackend(bucket_size=16, sampled_columns=128)
+        mask = be.build_element_mask(q, k)
+        assert mask.all()  # sampling every column makes the mask dense
+
+    def test_diagonal_kept(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=64, d=8)
+        be = HyperAttentionBackend(bucket_size=8, sampled_columns=0)
+        mask = be.build_element_mask(q, k)
+        assert np.all(np.diagonal(mask[0]))
+
+    def test_deterministic_per_layer(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=64, d=8)
+        be = HyperAttentionBackend(bucket_size=8, sampled_columns=4, seed=1)
+        m1 = be.build_element_mask(q, k, layer=0)
+        m2 = be.build_element_mask(q, k, layer=0)
+        np.testing.assert_array_equal(m1, m2)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            HyperAttentionBackend(bucket_size=0)
+        with pytest.raises(ConfigError):
+            HyperAttentionBackend(sampled_columns=-1)
+
+
+class TestHashSparse:
+    def test_same_bucket_only(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=64, d=8)
+        be = HashSparseBackend(n_buckets=4, local_window=0)
+        mask = be.build_element_mask(q, k)
+        # Row/col pairs in different buckets must be masked.
+        from repro.baselines.lsh import simhash_buckets as sh
+
+        rng2 = np.random.default_rng((0, 0, 64))
+        kb, planes = sh(k, 2, rng2)
+        qb, _ = sh(q, 2, rng2, planes=planes)
+        expected = qb[:, :, None] == kb[:, None, :]
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_density_well_below_one(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=256, d=16)
+        be = HashSparseBackend(n_buckets=16)
+        be.prefill(q, k, v)
+        assert be.last_stats()["density"] < 0.3
+
+    def test_positionally_rotated_matches_split(self, rng):
+        # The structural weakness the paper documents: identical content at
+        # different positions hashes apart once rotated.  Build two keys
+        # with equal content halves but different rotary halves.
+        from repro.model.rope import apply_rope, rope_cos_sin
+
+        d = 16
+        base = np.zeros((1, 2, d), dtype=np.float32)
+        base[0, :, 8:] = rng.standard_normal(8).astype(np.float32)  # same content
+        base[0, :, :8] = 1.0
+        cos, sin = rope_cos_sin(np.array([3, 5000]), 8, base=10000.0)
+        rotated = apply_rope(base, cos, sin)
+        be = HashSparseBackend(n_buckets=16, local_window=0)
+        mask = be.build_element_mask(rotated, rotated)
+        # With most hash energy on the rotated half, far-apart twins often
+        # split; at minimum the mask must not be trivially dense.
+        assert mask.mean() <= 1.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ConfigError):
+            HashSparseBackend(n_buckets=3)
+        with pytest.raises(ConfigError):
+            HashSparseBackend(n_buckets=1)

@@ -1,0 +1,54 @@
+"""Tests for the StreamingLLM baseline backend."""
+
+import numpy as np
+import pytest
+
+from repro.attention import dense_attention
+from repro.baselines import StreamingLLMBackend
+from repro.errors import ConfigError
+from tests.conftest import random_qkv
+
+
+class TestStreamingLLM:
+    def test_sink_and_window_only(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=512, d=8)
+        be = StreamingLLMBackend(sink_tokens=4, window_ratio=0.05, block_size=32)
+        dense = be.build_mask(q, k).to_dense()[0]
+        assert dense[511, 0]  # sink
+        assert dense[511, 511]  # window
+        assert not dense[511, 256]  # middle content unreachable
+
+    def test_middle_information_lost(self, rng):
+        # The defining failure mode at prefill: perturbing a middle value
+        # cannot change the last rows' output.
+        q, k, v = random_qkv(rng, h=1, s=512, d=8)
+        be = StreamingLLMBackend(sink_tokens=4, window_ratio=0.05, block_size=32)
+        out1 = be.prefill(q, k, v)
+        v2 = v.copy()
+        v2[:, 256] += 100.0
+        out2 = be.prefill(q, k, v2)
+        np.testing.assert_allclose(out1[:, -32:], out2[:, -32:], atol=1e-6)
+
+    def test_matches_dense_under_own_mask(self, rng):
+        q, k, v = random_qkv(rng, h=2, s=128, d=8)
+        be = StreamingLLMBackend(block_size=32)
+        out = be.prefill(q, k, v)
+        ref = dense_attention(q, k, v, mask=be.build_mask(q, k).to_dense()).output
+        np.testing.assert_allclose(out, ref, atol=2e-5)
+
+    def test_density_below_bigbird_default(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=512, d=8)
+        be = StreamingLLMBackend(block_size=32)
+        be.prefill(q, k, v)
+        assert be.last_stats()["density"] < 0.5
+
+    def test_zero_sinks_allowed(self, rng):
+        q, k, v = random_qkv(rng, h=1, s=64, d=8)
+        be = StreamingLLMBackend(sink_tokens=0, window_ratio=0.1, block_size=32)
+        assert be.prefill(q, k, v).shape == (1, 64, 8)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            StreamingLLMBackend(sink_tokens=-1)
+        with pytest.raises(ConfigError):
+            StreamingLLMBackend(window_ratio=1.2)

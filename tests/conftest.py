@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Model builds are cached at module scope (the circuit compiler is cheap, but
+calibration bisections add up across hundreds of tests), and a couple of
+standard random QKV bundles are provided for kernel tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import build_model
+
+
+@pytest.fixture(scope="session")
+def glm_mini():
+    return build_model("glm-mini")
+
+
+@pytest.fixture(scope="session")
+def intern_mini():
+    return build_model("intern-mini")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def random_qkv(
+    rng: np.random.Generator,
+    h: int = 4,
+    s: int = 256,
+    d: int = 32,
+    h_kv: int | None = None,
+    dtype=np.float32,
+):
+    """Standard random attention inputs; ``h_kv`` enables GQA shapes."""
+    h_kv = h if h_kv is None else h_kv
+    q = rng.standard_normal((h, s, d)).astype(dtype)
+    k = rng.standard_normal((h_kv, s, d)).astype(dtype)
+    v = rng.standard_normal((h_kv, s, d)).astype(dtype)
+    return q, k, v
+
+
+@pytest.fixture()
+def qkv(rng):
+    return random_qkv(rng)

@@ -1,0 +1,122 @@
+"""Tests for diagonal-pattern detection and capture (Appendix A.6)."""
+
+import numpy as np
+import pytest
+
+from repro import SampleAttentionConfig
+from repro.attention import dense_attention
+from repro.core import (
+    detect_diagonal_bands,
+    diagonal_profile,
+    plan_sample_attention,
+    sample_attention,
+)
+from repro.errors import ConfigError
+
+
+def diagonal_qkv(rng, h=2, s=256, d=16, delta=64, gain=10.0):
+    """q/k where every query strongly matches the key ``delta`` back."""
+    k = rng.standard_normal((h, s, d)).astype(np.float32)
+    k /= np.linalg.norm(k, axis=-1, keepdims=True)
+    q = 0.2 * rng.standard_normal((h, s, d)).astype(np.float32)
+    q[:, delta:] += gain * np.sqrt(d) * k[:, :-delta]
+    v = rng.standard_normal((h, s, d)).astype(np.float32)
+    return q, k, v
+
+
+class TestDiagonalProfile:
+    def test_peak_at_planted_offset(self, rng):
+        q, k, _ = diagonal_qkv(rng, delta=64)
+        profile = diagonal_profile(q, k, r_row=0.2)
+        assert int(np.argmax(profile.mass[0])) == 64
+
+    def test_coverage_decreases_with_distance(self, rng):
+        q, k, _ = diagonal_qkv(rng)
+        profile = diagonal_profile(q, k, r_row=0.2)
+        assert np.all(np.diff(profile.coverage) <= 0)
+
+    def test_mass_bounded(self, rng):
+        q, k, _ = diagonal_qkv(rng)
+        profile = diagonal_profile(q, k, r_row=0.2)
+        assert profile.mass.min() >= 0.0
+        assert profile.mass.max() <= 1.0 + 1e-6
+
+    def test_max_distance_truncates(self, rng):
+        q, k, _ = diagonal_qkv(rng)
+        profile = diagonal_profile(q, k, r_row=0.2, max_distance=32)
+        assert profile.mass.shape[1] == 32
+
+    def test_rejects_bad_max_distance(self, rng):
+        q, k, _ = diagonal_qkv(rng)
+        with pytest.raises(ConfigError):
+            diagonal_profile(q, k, max_distance=0)
+
+
+class TestDetectDiagonalBands:
+    def test_finds_planted_diagonal(self, rng):
+        q, k, _ = diagonal_qkv(rng, delta=64)
+        bands = detect_diagonal_bands(q, k, window=16, r_row=0.2, pad=4)
+        assert any(lo <= 64 < hi for lo, hi in bands)
+
+    def test_window_distances_ignored(self, rng):
+        q, k, _ = diagonal_qkv(rng, delta=8)
+        bands = detect_diagonal_bands(q, k, window=16, r_row=0.2)
+        assert all(lo >= 16 for lo, _ in bands)
+
+    def test_no_structure_no_bands(self, rng):
+        q = rng.standard_normal((2, 128, 16)).astype(np.float32)
+        k = rng.standard_normal((2, 128, 16)).astype(np.float32)
+        assert detect_diagonal_bands(q, k, window=8, r_row=0.2) == []
+
+    def test_bands_disjoint_and_sorted(self, rng):
+        q1, k1, _ = diagonal_qkv(rng, delta=48, gain=6.0)
+        q2, k2, _ = diagonal_qkv(rng, delta=120, gain=6.0)
+        q = np.concatenate([q1, q2], axis=0)
+        k = np.concatenate([k1, k2], axis=0)
+        bands = detect_diagonal_bands(q, k, window=8, r_row=0.2, pad=4)
+        assert bands == sorted(bands)
+        for (l1, h1), (l2, h2) in zip(bands, bands[1:]):
+            assert h1 <= l2
+
+    def test_rejects_bad_args(self, rng):
+        q, k, _ = diagonal_qkv(rng)
+        with pytest.raises(ConfigError):
+            detect_diagonal_bands(q, k, min_mass=0.0)
+        with pytest.raises(ConfigError):
+            detect_diagonal_bands(q, k, pad=-1)
+
+
+class TestDiagonalCapture:
+    def test_plan_with_detection_attaches_bands(self, rng):
+        q, k, _ = diagonal_qkv(rng, delta=64)
+        cfg = SampleAttentionConfig(alpha=0.9, r_row=0.2, r_window=0.05)
+        plan = plan_sample_attention(q, k, cfg, detect_diagonals=True)
+        assert "bands" in plan.extras
+        assert any(lo <= 64 < hi for lo, hi in plan.extras["bands"])
+
+    def test_bands_reduce_error_on_diagonal_heads(self, rng):
+        """Without the band, the stripe statistic cannot cover a diagonal
+        cheaply; with it, the output approaches dense attention."""
+        q, k, v = diagonal_qkv(rng, delta=64)
+        ref = dense_attention(q, k, v).output
+        cfg = SampleAttentionConfig(alpha=0.5, r_row=0.2, r_window=0.05)
+        plain = sample_attention(q, k, v, cfg)
+        with_diag = sample_attention(
+            q,
+            k,
+            v,
+            cfg,
+            plan=plan_sample_attention(q, k, cfg, detect_diagonals=True),
+        )
+        err_plain = float(np.abs(plain.output - ref).mean())
+        err_diag = float(np.abs(with_diag.output - ref).mean())
+        assert err_diag < 0.5 * err_plain
+
+    def test_band_cost_accounted(self, rng):
+        q, k, v = diagonal_qkv(rng, delta=64)
+        cfg = SampleAttentionConfig(alpha=0.5, r_row=0.2, r_window=0.05)
+        plan = plan_sample_attention(q, k, cfg, detect_diagonals=True)
+        res = sample_attention(q, k, v, cfg, plan=plan)
+        np.testing.assert_array_equal(
+            res.kernel.computed_elements, plan.element_counts()
+        )

@@ -1,0 +1,135 @@
+"""Tests for stage 1: query-guided attention sampling."""
+
+import numpy as np
+import pytest
+
+from repro.attention import attention_probs
+from repro.core import sample_column_scores, sampled_row_indices
+from repro.errors import ConfigError
+from tests.conftest import random_qkv
+
+
+class TestSampledRowIndices:
+    def test_count_matches_ratio(self):
+        idx = sampled_row_indices(1000, 0.05)
+        assert len(idx) == 50
+
+    def test_anchored_at_end(self):
+        idx = sampled_row_indices(1000, 0.05)
+        assert idx[-1] == 999
+
+    def test_from_start(self):
+        idx = sampled_row_indices(1000, 0.05, from_end=False)
+        assert idx[0] == 0
+
+    def test_sorted_unique(self):
+        idx = sampled_row_indices(337, 0.07)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_ratio_one_returns_everything(self):
+        idx = sampled_row_indices(17, 1.0)
+        np.testing.assert_array_equal(idx, np.arange(17))
+
+    def test_tiny_sequence_gets_one_row(self):
+        assert len(sampled_row_indices(3, 0.01)) == 1
+
+    def test_empty_sequence(self):
+        assert sampled_row_indices(0, 0.5).size == 0
+
+    def test_in_range(self):
+        idx = sampled_row_indices(97, 0.13)
+        assert idx.min() >= 0 and idx.max() < 97
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigError):
+            sampled_row_indices(10, 0.0)
+        with pytest.raises(ConfigError):
+            sampled_row_indices(10, 1.5)
+
+
+class TestSampleColumnScores:
+    def test_matches_naive_full_sampling(self, rng):
+        q, k, _ = random_qkv(rng, h=2, s=64, d=8)
+        rows = np.arange(64)
+        stats = sample_column_scores(q, k, rows)
+        probs = attention_probs(q, k)
+        np.testing.assert_allclose(
+            stats.column_scores, probs.sum(axis=1), atol=1e-4
+        )
+
+    def test_matches_naive_subset(self, rng):
+        q, k, _ = random_qkv(rng, h=2, s=64, d=8)
+        rows = sampled_row_indices(64, 0.2)
+        stats = sample_column_scores(q, k, rows)
+        probs = attention_probs(q, k)[:, rows]
+        np.testing.assert_allclose(
+            stats.column_scores, probs.sum(axis=1), atol=1e-4
+        )
+
+    def test_chunking_invariance(self, rng):
+        q, k, _ = random_qkv(rng, h=2, s=100, d=8)
+        rows = sampled_row_indices(100, 0.3)
+        a = sample_column_scores(q, k, rows, chunk=4)
+        b = sample_column_scores(q, k, rows, chunk=1000)
+        np.testing.assert_allclose(a.column_scores, b.column_scores, atol=1e-5)
+
+    def test_causal_zero_above_diagonal(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=32, d=8)
+        stats = sample_column_scores(q, k, np.array([5]))
+        assert np.all(stats.column_scores[0, 6:] == 0.0)
+
+    def test_row_mass_conserved(self, rng):
+        q, k, _ = random_qkv(rng, h=3, s=50, d=8)
+        rows = sampled_row_indices(50, 0.1)
+        stats = sample_column_scores(q, k, rows)
+        np.testing.assert_allclose(
+            stats.column_scores.sum(axis=1), float(len(rows)), rtol=1e-5
+        )
+
+    def test_max_reduction_bounded_by_one(self, rng):
+        q, k, _ = random_qkv(rng, h=2, s=40, d=8)
+        rows = sampled_row_indices(40, 0.25)
+        stats = sample_column_scores(q, k, rows, reduction="max")
+        assert stats.column_scores.max() <= 1.0 + 1e-6
+
+    def test_mean_reduction_normalises_causal_bias(self, rng):
+        # With "sum", early columns win just by visibility; "mean" divides
+        # by the number of sampled rows that can see each column.
+        q, k, _ = random_qkv(rng, h=1, s=60, d=8)
+        rows = np.arange(60)
+        mean_stats = sample_column_scores(q, k, rows, reduction="mean")
+        assert mean_stats.column_scores.max() <= 1.0 + 1e-6
+
+    def test_gqa(self, rng):
+        q, k, _ = random_qkv(rng, h=4, s=48, d=8, h_kv=2)
+        rows = sampled_row_indices(48, 0.25)
+        stats = sample_column_scores(q, k, rows)
+        assert stats.column_scores.shape == (4, 48)
+
+    def test_non_causal(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=24, d=8)
+        stats = sample_column_scores(q, k, np.array([0]), causal=False)
+        assert stats.column_scores[0, -1] > 0.0
+
+    def test_rejects_out_of_range_rows(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=16, d=4)
+        with pytest.raises(ConfigError):
+            sample_column_scores(q, k, np.array([16]))
+
+    def test_rejects_unknown_reduction(self, rng):
+        q, k, _ = random_qkv(rng, h=1, s=16, d=4)
+        with pytest.raises(ConfigError):
+            sample_column_scores(q, k, np.array([0]), reduction="median")
+
+    def test_detects_planted_stripe(self, rng):
+        # A key column aligned with every query must accumulate the most
+        # sampled mass -- the property stage 2 relies on.
+        h, s, d = 1, 128, 16
+        shared = rng.standard_normal(d).astype(np.float32)
+        shared /= np.linalg.norm(shared)
+        q = rng.standard_normal((h, s, d)).astype(np.float32) + 3.0 * shared
+        k = rng.standard_normal((h, s, d)).astype(np.float32) * 0.1
+        k[0, 40] = 5.0 * shared
+        rows = sampled_row_indices(s, 0.1)
+        stats = sample_column_scores(q, k, rows)
+        assert np.argmax(stats.column_scores[0]) == 40

@@ -1,0 +1,133 @@
+"""Tests for plan-guided KV-cache compression (decode extension)."""
+
+import numpy as np
+import pytest
+
+from repro import SampleAttentionConfig
+from repro.backends import SampleAttentionBackend
+from repro.core import (
+    compress_caches_with_plans,
+    plan_keep_indices,
+    plan_sample_attention,
+)
+from repro.errors import ConfigError
+from repro.tasks import make_needle_case
+from tests.conftest import random_qkv
+
+
+@pytest.fixture()
+def plan(rng):
+    q, k, _ = random_qkv(rng, h=4, s=256, d=16)
+    return plan_sample_attention(q, k, SampleAttentionConfig(alpha=0.8))
+
+
+class TestPlanKeepIndices:
+    def test_rectangular_and_sorted(self, plan):
+        keeps = plan_keep_indices(plan, 2)
+        assert len(keeps) == 2
+        sizes = {len(ix) for ix in keeps}
+        assert len(sizes) == 1
+        for ix in keeps:
+            assert np.all(np.diff(ix) > 0)
+            assert ix.min() >= 0 and ix.max() < plan.s_k
+
+    def test_sinks_and_recent_always_kept(self, plan):
+        keeps = plan_keep_indices(plan, 2, recent_window=16, sink_tokens=4)
+        for ix in keeps:
+            assert set(range(4)) <= set(ix.tolist())
+            assert set(range(plan.s_k - 16, plan.s_k)) <= set(ix.tolist())
+
+    def test_group_union_covers_all_query_heads(self, plan):
+        keeps = plan_keep_indices(plan, 2)
+        # KV head 0 serves query heads 0 and 1.
+        for h in (0, 1):
+            assert set(plan.kv_indices[h].tolist()) <= set(keeps[0].tolist())
+
+    def test_rejects_bad_kv_heads(self, plan):
+        with pytest.raises(ConfigError):
+            plan_keep_indices(plan, 3)
+
+
+class TestCompressCaches:
+    def test_needle_survives_compression(self, glm_mini):
+        """Compress the cache to the plan right after prefill; the decode
+        still retrieves the needle (its column is in the stripes)."""
+        case = make_needle_case(768, 0.4, rng=np.random.default_rng(12))
+        backend = SampleAttentionBackend(
+            SampleAttentionConfig(alpha=0.95), record_plans=True
+        )
+        caches = glm_mini.new_caches(capacity=case.length + 8)
+        hidden, _ = glm_mini.prefill(case.prompt, backend, caches=caches)
+        kept = compress_caches_with_plans(caches, backend.plans)
+        assert all(k < case.length for k in kept)  # genuinely compressed
+
+        token = int(np.argmax(glm_mini.logits(hidden[-1:])[0]))
+        generated = [token]
+        pos = case.length
+        for _ in range(len(case.answer) - 1):
+            logits = glm_mini.decode_step(token, pos, caches)
+            token = int(np.argmax(logits))
+            generated.append(token)
+            pos += 1
+        assert tuple(generated) == case.answer
+
+    def test_compression_ratio_reported(self, glm_mini):
+        case = make_needle_case(1024, 0.5, rng=np.random.default_rng(13))
+        backend = SampleAttentionBackend(
+            SampleAttentionConfig(alpha=0.8), record_plans=True
+        )
+        caches = glm_mini.new_caches(capacity=case.length + 8)
+        glm_mini.prefill(case.prompt, backend, caches=caches)
+        kept = compress_caches_with_plans(caches, backend.plans)
+        assert len(kept) == glm_mini.config.n_layers
+        assert np.mean(kept) < 0.7 * case.length
+
+    def test_rejects_length_mismatch(self, glm_mini):
+        case = make_needle_case(512, 0.5, rng=np.random.default_rng(14))
+        backend = SampleAttentionBackend(record_plans=True)
+        caches = glm_mini.new_caches(capacity=case.length + 8)
+        glm_mini.prefill(case.prompt, backend, caches=caches)
+        glm_mini.decode_step(17, case.length, caches)  # cache grew past plan
+        with pytest.raises(ConfigError):
+            compress_caches_with_plans(caches, backend.plans)
+
+    def test_rejects_count_mismatch(self, glm_mini, plan):
+        caches = glm_mini.new_caches()
+        with pytest.raises(ConfigError):
+            compress_caches_with_plans(caches, [plan])
+
+    def test_plans_recorded_per_prefill(self, glm_mini):
+        backend = SampleAttentionBackend(record_plans=True)
+        a = make_needle_case(512, 0.2, rng=np.random.default_rng(1))
+        b = make_needle_case(640, 0.8, rng=np.random.default_rng(2))
+        glm_mini.prefill(a.prompt, backend)
+        glm_mini.prefill(b.prompt, backend)
+        assert len(backend.plans) == glm_mini.config.n_layers
+        assert backend.plans[0].s_k == b.length  # fresh per request
+
+
+class TestGenerateIntegration:
+    def test_generate_with_plan_compression(self, glm_mini):
+        case = make_needle_case(768, 0.4, rng=np.random.default_rng(21))
+        backend = SampleAttentionBackend(
+            SampleAttentionConfig(alpha=0.95), record_plans=True
+        )
+        res = glm_mini.generate(
+            case.prompt,
+            len(case.answer),
+            backend=backend,
+            compress_kv_with_plan=True,
+        )
+        assert res.tokens == list(case.answer)
+
+    def test_generate_rejects_non_recording_backend(self, glm_mini):
+        from repro.errors import ModelError
+
+        case = make_needle_case(512, 0.4, rng=np.random.default_rng(22))
+        with pytest.raises(ModelError):
+            glm_mini.generate(
+                case.prompt,
+                1,
+                backend=SampleAttentionBackend(),
+                compress_kv_with_plan=True,
+            )

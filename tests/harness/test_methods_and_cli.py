@@ -1,0 +1,72 @@
+"""Tests for the method registry and the CLI plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.backends import FullAttentionBackend, SampleAttentionBackend
+from repro.baselines import BigBirdBackend
+from repro.errors import ConfigError
+from repro.harness import METHOD_NAMES, make_backend
+from repro.harness.cli import main
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+
+class TestMakeBackend:
+    @pytest.mark.parametrize("name", METHOD_NAMES)
+    def test_all_methods_instantiate(self, name):
+        be = make_backend(name)
+        assert be.name != "abstract"
+
+    def test_full(self):
+        assert isinstance(make_backend("full"), FullAttentionBackend)
+
+    def test_sample_hyperparameters_forwarded(self):
+        be = make_backend("sample_attention", alpha=0.8, r_row=0.02, r_window=0.04)
+        assert isinstance(be, SampleAttentionBackend)
+        assert be.config.alpha == 0.8
+        assert be.config.r_row == 0.02
+        assert be.config.r_window == 0.04
+
+    def test_bigbird_window_matched(self):
+        be = make_backend("bigbird", r_window=0.08)
+        assert isinstance(be, BigBirdBackend)
+        assert be.window_ratio == 0.08
+        assert be.global_ratio == 0.08
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            make_backend("attention-is-all-you-need")
+
+
+class TestRegistry:
+    def test_every_paper_exhibit_registered(self):
+        required = {
+            "fig1", "fig2", "table2", "table3", "fig4", "fig5", "fig6",
+            "table4", "table5", "table6", "fig7", "fig8", "fig9", "fig11",
+        }
+        assert required <= set(EXPERIMENTS)
+
+    def test_run_experiment_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fig99")
+
+    def test_cost_model_experiments_fast(self):
+        for exp in ("fig1", "fig6", "table4"):
+            tables = run_experiment(exp)
+            assert tables and tables[0].rows
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+
+    def test_run_and_write_markdown(self, tmp_path, capsys):
+        out_file = tmp_path / "fig1.md"
+        assert main(["fig1", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "Figure 1" in out_file.read_text()
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["definitely-not-real"]) == 2

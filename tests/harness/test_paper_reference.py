@@ -1,0 +1,79 @@
+"""Tests for the transcribed paper-reference data."""
+
+import pytest
+
+from repro.harness.paper_reference import (
+    SHAPE_CLAIMS,
+    SPEEDUP_CLAIMS,
+    TABLE2_PAPER,
+    TABLE3_PAPER,
+    TABLE4_PAPER,
+    TABLE5_PAPER_SD,
+    method_order_from_scores,
+)
+
+
+class TestTable2Reference:
+    def test_models_and_methods_complete(self):
+        assert set(TABLE2_PAPER) == {"ChatGLM2-6B", "InternLM2-7B"}
+        for methods in TABLE2_PAPER.values():
+            assert set(methods) == {
+                "full", "sample_attention", "bigbird", "streaming_llm",
+                "hyper_attention", "hash_sparse",
+            }
+
+    def test_sample_attention_near_lossless_in_paper(self):
+        for methods in TABLE2_PAPER.values():
+            full_lb, _ = methods["full"]
+            sample_lb, _ = methods["sample_attention"]
+            assert sample_lb >= 0.99 * full_lb
+
+    def test_paper_method_ordering(self):
+        for methods in TABLE2_PAPER.values():
+            lb = {m: v[0] for m, v in methods.items()}
+            order = method_order_from_scores(lb)
+            assert order[0] in ("full", "sample_attention")
+            assert order.index("bigbird") < order.index("hash_sparse")
+
+
+class TestTable3Reference:
+    def test_default_setting_is_best_needle(self):
+        needle = {k: v[2] for k, v in TABLE3_PAPER.items() if k != "full"}
+        assert max(needle, key=needle.get) in ("alpha=0.95", "r_w=8%", "r_row=5%")
+
+    def test_small_window_hurts(self):
+        assert TABLE3_PAPER["r_w=4%"][0] < TABLE3_PAPER["r_w=8%"][0]
+
+    def test_small_sampling_hurts(self):
+        assert TABLE3_PAPER["r_row=2%"][0] < TABLE3_PAPER["r_row=5%"][0]
+
+
+class TestLatencyReferences:
+    def test_table4_attention_share_monotone(self):
+        shares = [v[2] for _, v in sorted(TABLE4_PAPER.items())]
+        assert shares == sorted(shares)
+
+    def test_table5_sd_monotone_in_length_and_alpha(self):
+        rows = [v for _, v in sorted(TABLE5_PAPER_SD.items())]
+        for col in range(3):
+            series = [r[col] for r in rows]
+            assert series == sorted(series)
+        for row in rows:
+            assert row[0] >= row[1] >= row[2]  # lower alpha -> higher SD
+
+    def test_speedup_claims_consistent(self):
+        by_key = {(c.seq_len, c.alpha): c for c in SPEEDUP_CLAIMS}
+        assert by_key[(98304, 0.80)].attention_speedup > by_key[
+            (98304, 0.95)
+        ].attention_speedup
+        assert by_key[(1048576, 0.80)].ttft_speedup > by_key[
+            (98304, 0.80)
+        ].ttft_speedup
+
+    def test_shape_claims_nonempty(self):
+        assert len(SHAPE_CLAIMS) >= 10
+
+
+class TestHelpers:
+    def test_method_order(self):
+        assert method_order_from_scores({"a": 1.0, "b": 3.0}) == ["b", "a"]

@@ -1,0 +1,51 @@
+"""Tests for the result-table type."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import Table
+
+
+class TestTable:
+    def test_add_row_and_str(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        text = str(t)
+        assert "demo" in text and "2.500" in text
+
+    def test_add_row_rejects_arity(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ConfigError):
+            t.add_row(1)
+
+    def test_column_extraction(self):
+        t = Table("demo", ["k", "v"])
+        t.add_row("x", 1)
+        t.add_row("y", 2)
+        assert t.column("v") == [1, 2]
+        with pytest.raises(ConfigError):
+            t.column("missing")
+
+    def test_row_map(self):
+        t = Table("demo", ["k", "v"])
+        t.add_row("x", 1)
+        assert t.row_map("k")["x"] == ["x", 1]
+
+    def test_markdown_render(self):
+        t = Table("demo", ["a"], notes="careful")
+        t.add_row(42)
+        md = t.to_markdown()
+        assert md.startswith("### demo")
+        assert "| 42 |" in md
+        assert "*careful*" in md
+
+    def test_float_formatting(self):
+        t = Table("demo", ["x"])
+        t.add_row(12345.6)
+        t.add_row(0.12345)
+        s = str(t)
+        assert "12,346" in s
+        assert "0.123" in s
+
+    def test_empty_table_renders(self):
+        assert "demo" in str(Table("demo", ["a", "b"]))

@@ -1,0 +1,64 @@
+"""Tests for ModelConfig and ResidualLayout validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model import ModelConfig, ResidualLayout
+
+
+class TestResidualLayout:
+    def test_subspaces_partition(self):
+        layout = ResidualLayout(48)
+        assert layout.tok == slice(0, 48)
+        assert layout.prev == slice(48, 96)
+        assert layout.out == slice(96, 144)
+        assert layout.const_dim == 144
+        assert layout.scratch_dim == 147
+        assert layout.d_model == 148
+
+    def test_flag_dims_distinct(self):
+        layout = ResidualLayout(16)
+        flags = {layout.const_dim, layout.bos_dim, layout.salience_dim,
+                 layout.scratch_dim}
+        assert len(flags) == 4
+
+
+class TestModelConfig:
+    def test_defaults_valid(self):
+        cfg = ModelConfig()
+        assert cfg.d_model == cfg.layout.d_model
+        assert cfg.n_rep == cfg.n_heads // cfg.n_kv_heads
+        assert cfg.n_rotary_pairs == cfg.rot_dim // 2
+
+    def test_rejects_bad_gqa(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(n_heads=6, n_kv_heads=4)
+
+    def test_rejects_odd_rot_dim(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(rot_dim=7)
+
+    def test_rejects_rot_wider_than_head(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(rot_dim=128, d_head=64)
+
+    def test_rejects_narrow_content_width(self):
+        # Needs d_head - rot_dim >= d_embed + 2 for content + flag channels.
+        with pytest.raises(ConfigError):
+            ModelConfig(d_head=70, rot_dim=24, d_embed=48)
+
+    def test_rejects_unknown_norm(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(norm="layer")
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(vocab_size=4)
+
+    def test_rejects_negative_mlp(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(mlp_ratio=-1.0)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(n_layers=0)

@@ -1,0 +1,108 @@
+"""Tests for the Transformer substrate: prefill, decode, generation."""
+
+import numpy as np
+import pytest
+
+from repro.backends import FullAttentionBackend, SampleAttentionBackend
+from repro.errors import ModelError
+from repro.model import ModelConfig, Transformer
+from repro.model.weights import random_weights
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    config = ModelConfig(
+        n_layers=2, n_heads=4, n_kv_heads=2, vocab_size=64, norm="rms",
+        mlp_ratio=1.0, name="tiny-random",
+    )
+    return Transformer(random_weights(config, seed=1, scale=0.05))
+
+
+class TestEmbedAndLogits:
+    def test_embed_shape(self, tiny_model):
+        x = tiny_model.embed(np.array([1, 2, 3]))
+        assert x.shape == (3, tiny_model.config.d_model)
+
+    def test_embed_rejects_out_of_range(self, tiny_model):
+        with pytest.raises(ModelError):
+            tiny_model.embed(np.array([64]))
+        with pytest.raises(ModelError):
+            tiny_model.embed(np.array([-1]))
+
+    def test_embed_rejects_rank(self, tiny_model):
+        with pytest.raises(ModelError):
+            tiny_model.embed(np.array([[1, 2]]))
+
+    def test_logits_shape(self, tiny_model):
+        x = tiny_model.embed(np.array([1, 2]))
+        assert tiny_model.logits(x).shape == (2, 64)
+
+
+class TestPrefillDecodeConsistency:
+    def test_stepwise_decode_matches_prefill_logits(self, tiny_model, rng):
+        """Feeding tokens one at a time reproduces prefill's final logits."""
+        tokens = rng.integers(0, 64, size=10)
+        hidden, _ = tiny_model.prefill(tokens)
+        full_logits = tiny_model.logits(hidden[-1:])[0]
+
+        caches = tiny_model.new_caches()
+        for i, t in enumerate(tokens):
+            step_logits = tiny_model.decode_step(int(t), i, caches)
+        np.testing.assert_allclose(step_logits, full_logits, atol=1e-3)
+
+    def test_prefill_then_decode_continues_positions(self, tiny_model, rng):
+        tokens = rng.integers(0, 64, size=8)
+        caches = tiny_model.new_caches()
+        tiny_model.prefill(tokens, caches=caches)
+        assert all(len(c) == 8 for c in caches)
+        tiny_model.decode_step(3, 8, caches)
+        assert all(len(c) == 9 for c in caches)
+
+    def test_prefill_rejects_wrong_cache_count(self, tiny_model, rng):
+        tokens = rng.integers(0, 64, size=4)
+        with pytest.raises(ModelError):
+            tiny_model.prefill(tokens, caches=[])
+
+
+class TestGenerate:
+    def test_generation_shapes_and_timing(self, tiny_model, rng):
+        prompt = rng.integers(0, 64, size=16)
+        res = tiny_model.generate(prompt, 5)
+        assert len(res.tokens) == 5
+        assert res.prefill_seconds > 0
+        assert res.decode_seconds >= 0
+        assert len(res.backend_stats) == tiny_model.config.n_layers
+
+    def test_deterministic(self, tiny_model, rng):
+        prompt = rng.integers(0, 64, size=16)
+        a = tiny_model.generate(prompt, 4)
+        b = tiny_model.generate(prompt, 4)
+        assert a.tokens == b.tokens
+
+    def test_stop_token(self, tiny_model, rng):
+        prompt = rng.integers(0, 64, size=16)
+        free = tiny_model.generate(prompt, 8)
+        stopped = tiny_model.generate(prompt, 8, stop_token=free.tokens[0])
+        assert stopped.tokens == [free.tokens[0]]
+
+    def test_zero_new_tokens(self, tiny_model, rng):
+        res = tiny_model.generate(rng.integers(0, 64, size=8), 0)
+        assert res.tokens == []
+
+    def test_rejects_empty_prompt(self, tiny_model):
+        with pytest.raises(ModelError):
+            tiny_model.generate(np.array([], dtype=np.int64), 3)
+
+    def test_rejects_negative_budget(self, tiny_model, rng):
+        with pytest.raises(ModelError):
+            tiny_model.generate(rng.integers(0, 64, size=4), -1)
+
+    def test_backend_swap_changes_only_prefill(self, tiny_model, rng):
+        """Different prefill backends may disagree, but both must produce
+        well-formed generations with per-layer stats."""
+        prompt = rng.integers(0, 64, size=64)
+        full = tiny_model.generate(prompt, 3, backend=FullAttentionBackend())
+        samp = tiny_model.generate(prompt, 3, backend=SampleAttentionBackend())
+        assert len(full.tokens) == len(samp.tokens) == 3
+        assert all("density" in s for s in samp.backend_stats)
+        assert samp.backend_stats[0]["density"] <= 1.0

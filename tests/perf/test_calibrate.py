@@ -1,0 +1,51 @@
+"""Tests for substrate-measured performance calibration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import (
+    CHATGLM2_6B,
+    fit_sparsity_from_measurements,
+    measure_plan_densities,
+    measured_speedup,
+)
+
+
+class TestMeasurePlanDensities:
+    def test_shape_and_range(self, glm_mini):
+        meas = measure_plan_densities(glm_mini, (512, 1024), (0.90, 0.95))
+        assert set(meas) == {0.90, 0.95}
+        for pts in meas.values():
+            assert [p[0] for p in pts] == [512, 1024]
+            assert all(0.0 < d <= 1.0 for _, d in pts)
+
+    def test_alpha_ordering(self, glm_mini):
+        meas = measure_plan_densities(glm_mini, (768,), (0.80, 0.95))
+        assert meas[0.80][0][1] <= meas[0.95][0][1]
+
+    def test_rejects_empty(self, glm_mini):
+        with pytest.raises(ConfigError):
+            measure_plan_densities(glm_mini, (), (0.95,))
+
+
+class TestFitAndPredict:
+    def test_fit_roundtrip(self, glm_mini):
+        meas = measure_plan_densities(glm_mini, (512, 1024, 2048), (0.95,))
+        model = fit_sparsity_from_measurements(meas)
+        measured = dict(meas[0.95])
+        pred = model.kept_fraction(1024, 0.95)
+        assert pred == pytest.approx(measured[1024], rel=0.2)
+
+    def test_measured_speedup_consistent_with_paper_band(self, glm_mini):
+        """Billing the substrate's measured ~0.3 density through the
+        roofline lands near the paper's 2.2x at 96K -- an independent
+        cross-check of the whole pipeline."""
+        meas = measure_plan_densities(glm_mini, (1024,), (0.95,))
+        density = meas[0.95][0][1]
+        speedup = measured_speedup(CHATGLM2_6B, density, 98304)
+        assert 1.5 < speedup < 3.5
+
+    def test_measured_speedup_monotone_in_density(self):
+        fast = measured_speedup(CHATGLM2_6B, 0.1, 98304)
+        slow = measured_speedup(CHATGLM2_6B, 0.8, 98304)
+        assert fast > slow > 0.5

@@ -1,0 +1,47 @@
+"""Tests for the decode-step latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import CHATGLM2_6B, INTERNLM2_7B, LatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel(CHATGLM2_6B)
+
+
+class TestDecodeLatency:
+    def test_positive_and_finite(self, model):
+        t = model.decode_latency(32768)
+        assert 0.0 < t < 1.0  # ms-scale per token on an A100
+
+    def test_grows_with_cache(self, model):
+        assert model.decode_latency(1048576) > model.decode_latency(8192)
+
+    def test_weight_bound_at_short_cache(self, model):
+        """With a tiny cache, KV reads are negligible: latency is set by
+        streaming the weights, so doubling cache from 1 to 1K barely moves."""
+        t1 = model.decode_latency(1)
+        t2 = model.decode_latency(1024)
+        assert t2 < 1.2 * t1
+
+    def test_tp_speeds_up_decode(self):
+        m1 = LatencyModel(CHATGLM2_6B, tensor_parallel=1)
+        m4 = LatencyModel(CHATGLM2_6B, tensor_parallel=4)
+        assert m4.decode_latency(65536) < m1.decode_latency(65536)
+
+    def test_bigger_model_slower(self):
+        glm = LatencyModel(CHATGLM2_6B).decode_latency(32768)
+        intern = LatencyModel(INTERNLM2_7B).decode_latency(32768)
+        assert intern > glm  # more layers, bigger FFN
+
+    def test_gqa_limits_kv_traffic(self, model):
+        """ChatGLM2's 2-group MQA keeps KV reads small: even a 1M cache
+        costs only a few times the weight-bound floor."""
+        floor = model.decode_latency(1)
+        assert model.decode_latency(1048576) < 4.0 * floor
+
+    def test_rejects_negative_cache(self, model):
+        with pytest.raises(ConfigError):
+            model.decode_latency(-1)

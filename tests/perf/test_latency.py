@@ -1,0 +1,111 @@
+"""Tests for the latency model against the paper's reported numbers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import A100_80GB, CHATGLM2_6B, HardwareSpec, LatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel(CHATGLM2_6B)
+
+
+class TestHardware:
+    def test_roofline_max_of_compute_and_memory(self):
+        hw = HardwareSpec("t", 100.0, 10.0, flops_efficiency=1.0,
+                          bandwidth_efficiency=1.0, kernel_overhead=0.0)
+        assert hw.kernel_seconds(100.0, 1.0) == pytest.approx(1.0)
+        assert hw.kernel_seconds(1.0, 100.0) == pytest.approx(10.0)
+
+    def test_overhead_added(self):
+        hw = HardwareSpec("t", 100.0, 10.0, kernel_overhead=0.5)
+        assert hw.kernel_seconds(0.0, 0.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HardwareSpec("t", 0.0, 1.0)
+        with pytest.raises(ConfigError):
+            HardwareSpec("t", 1.0, 1.0, flops_efficiency=1.5)
+        with pytest.raises(ConfigError):
+            A100_80GB.kernel_seconds(-1.0, 0.0)
+
+
+class TestAttentionLatency:
+    def test_flash_beats_sdpa(self, model):
+        for s in (8192, 65536):
+            assert (
+                model.attention_latency(s, "flash").seconds
+                < model.attention_latency(s, "sdpa").seconds
+            )
+
+    def test_paper_96k_attention_speedups(self, model):
+        """Figure 5a: 2.20x (alpha=0.95) and 5.12x (alpha=0.80) at 96K."""
+        assert model.speedup_vs_flash(98304, alpha=0.95) == pytest.approx(2.20, rel=0.05)
+        assert model.speedup_vs_flash(98304, alpha=0.80) == pytest.approx(5.12, rel=0.05)
+
+    def test_no_advantage_at_8k(self, model):
+        """Figure 5a: sampling overhead erases the win at short lengths."""
+        assert model.speedup_vs_flash(8192, alpha=0.95) <= 1.1
+
+    def test_speedup_grows_with_length(self, model):
+        s95 = [model.speedup_vs_flash(s, alpha=0.95) for s in (16384, 98304, 1048576)]
+        assert s95[0] < s95[1] < s95[2]
+
+    def test_lower_alpha_faster(self, model):
+        for s in (32768, 262144):
+            assert model.speedup_vs_flash(s, alpha=0.80) > model.speedup_vs_flash(
+                s, alpha=0.95
+            )
+
+    def test_sampling_fraction_decreases_with_length(self, model):
+        """Figure 5b's trend."""
+        fracs = [
+            model.attention_latency(s, "sample").sampling_fraction
+            for s in (8192, 32768, 98304)
+        ]
+        assert fracs[0] > fracs[1] > fracs[2]
+
+    def test_measured_kept_fraction_override(self, model):
+        dense = model.attention_latency(65536, "sample", kept_fraction=1.0)
+        sparse = model.attention_latency(65536, "sample", kept_fraction=0.1)
+        assert sparse.seconds < dense.seconds
+
+    def test_rejects_unknown_method(self, model):
+        with pytest.raises(ConfigError):
+            model.attention_latency(1024, "quantum")
+
+
+class TestTTFT:
+    def test_attention_share_grows_with_length(self, model):
+        shares = [model.attention_share(s) for s in (32768, 262144, 1048576)]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_table4_attention_share_range(self):
+        """Table 4: ~32% at 32K rising to ~88% at 1M (TP=4)."""
+        m = LatencyModel(CHATGLM2_6B, tensor_parallel=4)
+        assert 0.2 < m.attention_share(32768) < 0.5
+        assert m.attention_share(1048576) > 0.8
+
+    def test_ttft_speedup_96k(self, model):
+        """Figure 5c: 1.62x / 2.28x at 96K (we land within ~15%)."""
+        assert model.ttft_speedup_vs_flash(98304, alpha=0.95) == pytest.approx(
+            1.62, rel=0.15
+        )
+        assert model.ttft_speedup_vs_flash(98304, alpha=0.80) == pytest.approx(
+            2.28, rel=0.15
+        )
+
+    def test_ttft_speedup_grows_to_1m(self, model):
+        """Figure 6b: larger TTFT reductions at 1M than at 96K."""
+        assert model.ttft_speedup_vs_flash(1048576, alpha=0.95) > \
+            model.ttft_speedup_vs_flash(98304, alpha=0.95)
+
+    def test_tensor_parallel_scales_down(self):
+        m1 = LatencyModel(CHATGLM2_6B, tensor_parallel=1)
+        m4 = LatencyModel(CHATGLM2_6B, tensor_parallel=4)
+        assert m4.ttft(65536, "flash") < m1.ttft(65536, "flash")
+
+    def test_rejects_bad_tp(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(CHATGLM2_6B, tensor_parallel=0)

@@ -1,0 +1,120 @@
+"""Tests for prompt assembly and scoring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TaskError
+from repro.tasks import PromptBuilder, TaskCase, score_tokens
+from repro.vocab import DEFAULT_VOCAB as V
+
+
+class TestPromptBuilder:
+    def test_exact_length(self, rng):
+        b = PromptBuilder(V, rng, 200)
+        b.add_segment(0.5, [V.FACT_SEP, 20, 60, V.FACT_SEP], name="fact")
+        b.set_question([V.QUERY, 20])
+        prompt, positions = b.build()
+        assert prompt.size == 200
+
+    def test_starts_with_bos(self, rng):
+        b = PromptBuilder(V, rng, 64)
+        b.set_question([V.QUERY])
+        prompt, _ = b.build()
+        assert prompt[0] == V.BOS
+
+    def test_segment_positions_recorded(self, rng):
+        b = PromptBuilder(V, rng, 300)
+        seg = [V.FACT_SEP, 21, 70, V.FACT_SEP]
+        b.add_segment(0.4, seg, name="fact")
+        b.set_question([V.QUERY, 21])
+        prompt, positions = b.build()
+        p = positions["fact"]
+        np.testing.assert_array_equal(prompt[p : p + 4], seg)
+        # Roughly at the requested fraction of the body.
+        assert 0.2 < p / 300 < 0.6
+
+    def test_question_at_end(self, rng):
+        b = PromptBuilder(V, rng, 100)
+        b.set_question([V.QUERY, 17])
+        prompt, positions = b.build()
+        assert positions["question"] == 98
+        np.testing.assert_array_equal(prompt[-2:], [V.QUERY, 17])
+
+    def test_segments_keep_offset_order(self, rng):
+        b = PromptBuilder(V, rng, 400)
+        b.add_segment(0.8, [21], name="late")
+        b.add_segment(0.1, [22], name="early")
+        b.set_question([V.QUERY])
+        _, positions = b.build()
+        assert positions["early"] < positions["late"]
+
+    def test_rejects_overfull(self, rng):
+        b = PromptBuilder(V, rng, 20)
+        b.add_segment(0.5, list(range(16, 46)))
+        b.set_question([V.QUERY])
+        with pytest.raises(TaskError):
+            b.build()
+
+    def test_rejects_tiny_length(self, rng):
+        with pytest.raises(TaskError):
+            PromptBuilder(V, rng, 4)
+
+    def test_rejects_bad_offset(self, rng):
+        b = PromptBuilder(V, rng, 64)
+        with pytest.raises(TaskError):
+            b.add_segment(1.2, [1])
+
+
+class TestScoreTokens:
+    def test_exact_hit(self):
+        assert score_tokens([3, 4], [3, 4]) == 100.0
+
+    def test_exact_miss(self):
+        assert score_tokens([3, 5], [3, 4]) == 0.0
+
+    def test_prefix_partial(self):
+        assert score_tokens([3, 5], [3, 4], mode="prefix") == 50.0
+
+    def test_prefix_none(self):
+        assert score_tokens([9, 9], [3, 4], mode="prefix") == 0.0
+
+    def test_extra_generation_ignored(self):
+        assert score_tokens([3, 4, 99, 98], [3, 4]) == 100.0
+
+    def test_short_generation_scored(self):
+        assert score_tokens([3], [3, 4], mode="prefix") == 50.0
+        assert score_tokens([3], [3, 4], mode="exact") == 0.0
+
+    def test_rejects_empty_answer(self):
+        with pytest.raises(TaskError):
+            score_tokens([1], [])
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(TaskError):
+            score_tokens([1], [1], mode="bleu")
+
+
+class TestTaskCase:
+    def test_length_property(self, rng):
+        case = TaskCase(
+            prompt=np.arange(10, dtype=np.int64), answer=(1,), category="x"
+        )
+        assert case.length == 10
+
+
+class TestF1Scoring:
+    def test_perfect_match(self):
+        assert score_tokens([3, 4], [3, 4], mode="f1") == 100.0
+
+    def test_order_insensitive(self):
+        assert score_tokens([4, 3], [3, 4], mode="f1") == 100.0
+
+    def test_partial_overlap(self):
+        assert score_tokens([3, 9], [3, 4], mode="f1") == pytest.approx(50.0)
+
+    def test_no_overlap(self):
+        assert score_tokens([8, 9], [3, 4], mode="f1") == 0.0
+
+    def test_multiset_counting(self):
+        # Generated has one '3', answer needs two: overlap counts min.
+        assert score_tokens([3, 9], [3, 3], mode="f1") == pytest.approx(50.0)

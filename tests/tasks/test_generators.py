@@ -1,0 +1,140 @@
+"""Tests for the needle / LongBench / BABILong generators and that the
+constructed backbone solves them under full attention."""
+
+import numpy as np
+import pytest
+
+from repro.backends import FullAttentionBackend
+from repro.errors import TaskError
+from repro.tasks import (
+    BABILONG_TASKS,
+    LONGBENCH_CATEGORIES,
+    babilong_suite,
+    evaluate_case,
+    longbench_suite,
+    make_babilong_case,
+    make_longbench_case,
+    make_needle_case,
+    needle_grid,
+)
+from repro.vocab import DEFAULT_VOCAB as V
+
+
+class TestNeedleGenerator:
+    def test_case_structure(self, rng):
+        case = make_needle_case(512, 0.5, rng=rng)
+        assert case.length == 512
+        assert case.category == "needle"
+        assert len(case.answer) == 2
+        p = case.meta["positions"]["needle"]
+        assert case.prompt[p] == V.FACT_SEP
+        assert case.prompt[p + 2] == case.answer[0]
+
+    def test_depth_controls_position(self, rng):
+        shallow = make_needle_case(512, 0.05, rng=np.random.default_rng(0))
+        deep = make_needle_case(512, 0.95, rng=np.random.default_rng(0))
+        assert (
+            shallow.meta["positions"]["needle"] < deep.meta["positions"]["needle"]
+        )
+
+    def test_question_uses_needle_key(self, rng):
+        case = make_needle_case(512, 0.3, rng=rng)
+        p = case.meta["positions"]["needle"]
+        assert case.prompt[-1] == case.prompt[p + 1]
+
+    def test_distractors_have_different_keys(self, rng):
+        case = make_needle_case(512, 0.5, rng=rng, n_distractors=2)
+        key = case.prompt[-1]
+        for i in range(2):
+            p = case.meta["positions"][f"distractor{i}"]
+            assert case.prompt[p + 1] != key
+
+    def test_rejects_bad_depth(self, rng):
+        with pytest.raises(TaskError):
+            make_needle_case(512, 1.5, rng=rng)
+
+    def test_grid_size(self):
+        cases = needle_grid([256, 512], n_depths=4)
+        assert len(cases) == 8
+        assert {c.length for c in cases} == {256, 512}
+
+    def test_grid_rejects_zero_depths(self):
+        with pytest.raises(TaskError):
+            needle_grid([256], n_depths=0)
+
+
+class TestLongbenchGenerator:
+    @pytest.mark.parametrize("category", LONGBENCH_CATEGORIES)
+    def test_each_category_generates(self, category, rng):
+        case = make_longbench_case(category, 512, rng=rng)
+        assert case.category == category
+        assert case.length == 512
+        assert len(case.answer) >= 1
+
+    def test_rejects_unknown_category(self, rng):
+        with pytest.raises(TaskError):
+            make_longbench_case("poetry", 512, rng=rng)
+
+    def test_suite_round_robin_lengths(self):
+        cases = longbench_suite([256, 512], cases_per_category=2)
+        assert len(cases) == 12
+        lengths = {c.length for c in cases}
+        assert lengths == {256, 512}
+
+    def test_suite_rejects_zero_cases(self):
+        with pytest.raises(TaskError):
+            longbench_suite([256], cases_per_category=0)
+
+    def test_multi_doc_hop_order(self, rng):
+        case = make_longbench_case("multi_doc_qa", 512, rng=rng)
+        pos = case.meta["positions"]
+        assert pos["hop1"] < pos["hop2"]
+
+    def test_code_answer_contains_punctuation(self, rng):
+        case = make_longbench_case("code_completion", 512, rng=rng)
+        assert V.CODE_COMMA in case.answer
+        assert case.answer[-1] == V.CODE_CLOSE
+
+    @pytest.mark.parametrize(
+        "category", ["single_doc_qa", "summarization", "few_shot"]
+    )
+    def test_full_attention_solves(self, category, glm_mini):
+        case = make_longbench_case(
+            category, 640, rng=np.random.default_rng(77)
+        )
+        res = evaluate_case(glm_mini, FullAttentionBackend(), case)
+        assert res.score == 100.0
+
+
+class TestBabilongGenerator:
+    @pytest.mark.parametrize("task", BABILONG_TASKS)
+    def test_each_task_generates(self, task, rng):
+        case = make_babilong_case(task, 512, rng=rng)
+        assert case.category == task
+        assert case.length == 512
+
+    def test_qa1_latest_binding_is_answer(self, rng):
+        case = make_babilong_case("qa1", 512, rng=rng)
+        pos = case.meta["positions"]
+        last_move = max(p for name, p in pos.items() if name.startswith("move"))
+        # answer token is the location in the latest move fact.
+        assert case.prompt[last_move + 2] == case.answer[0]
+
+    def test_qa2_chain_order(self, rng):
+        case = make_babilong_case("qa2", 512, rng=rng)
+        pos = case.meta["positions"]
+        assert pos["took"] < pos["moved"]
+
+    def test_rejects_unknown_task(self, rng):
+        with pytest.raises(TaskError):
+            make_babilong_case("qa99", 512, rng=rng)
+
+    def test_suite_shape(self):
+        cases = babilong_suite([256], cases_per_task=2)
+        assert len(cases) == 8
+
+    @pytest.mark.parametrize("task", ["qa1", "qa2"])
+    def test_full_attention_solves(self, task, glm_mini):
+        case = make_babilong_case(task, 768, rng=np.random.default_rng(5))
+        res = evaluate_case(glm_mini, FullAttentionBackend(), case)
+        assert res.score == 100.0

@@ -1,0 +1,83 @@
+"""Tests for the synthetic vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TaskError
+from repro.vocab import DEFAULT_VOCAB, Vocabulary
+
+
+class TestPools:
+    def test_pools_disjoint_and_cover(self):
+        v = DEFAULT_VOCAB
+        pools = [v.marker_ids, v.entity_ids, v.value_ids, v.filler_ids]
+        all_ids = np.concatenate(pools)
+        assert len(np.unique(all_ids)) == len(all_ids)
+        assert len(all_ids) == v.size
+
+    def test_marker_constants_in_marker_pool(self):
+        v = DEFAULT_VOCAB
+        for t in (v.BOS, v.QUERY, v.FACT_SEP, v.DOC_SEP, v.WHERE):
+            assert t in v.marker_ids
+
+    def test_salient_subset_of_markers(self):
+        v = DEFAULT_VOCAB
+        assert set(v.salient_ids) <= set(v.marker_ids.tolist())
+
+    def test_suppressed_excludes_code_punctuation(self):
+        v = DEFAULT_VOCAB
+        assert v.CODE_OPEN not in v.suppressed_ids
+        assert v.CODE_COMMA not in v.suppressed_ids
+        assert v.FACT_SEP in v.suppressed_ids
+
+    def test_orthonormal_ids_are_markers_plus_entities(self):
+        v = DEFAULT_VOCAB
+        assert set(v.orthonormal_ids) == set(v.marker_ids.tolist()) | set(
+            v.entity_ids.tolist()
+        )
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TaskError):
+            Vocabulary(size=64)
+
+
+class TestFiller:
+    def test_length_and_pool(self, rng):
+        v = DEFAULT_VOCAB
+        f = v.sample_filler(rng, 500)
+        assert f.shape == (500,)
+        assert np.isin(f, v.filler_ids).all()
+
+    def test_zero_length(self, rng):
+        assert DEFAULT_VOCAB.sample_filler(rng, 0).size == 0
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(TaskError):
+            DEFAULT_VOCAB.sample_filler(rng, -1)
+
+    def test_contains_repeated_phrases(self, rng):
+        """~n/256 phrases are re-emitted: some 4-gram repeats somewhere."""
+        f = DEFAULT_VOCAB.sample_filler(rng, 2048)
+        grams = {}
+        repeated = 0
+        for i in range(len(f) - 4):
+            key = tuple(f[i : i + 4])
+            repeated += key in grams
+            grams[key] = i
+        assert repeated >= 1
+
+    def test_deterministic_given_rng(self):
+        a = DEFAULT_VOCAB.sample_filler(np.random.default_rng(5), 128)
+        b = DEFAULT_VOCAB.sample_filler(np.random.default_rng(5), 128)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDecode:
+    def test_marker_names(self):
+        v = DEFAULT_VOCAB
+        assert v.decode([v.BOS, v.QUERY]) == "<bos> <query>"
+
+    def test_entity_value_filler_naming(self):
+        v = DEFAULT_VOCAB
+        s = v.decode([int(v.entity_ids[0]), int(v.value_ids[0]), int(v.filler_ids[0])])
+        assert s.startswith("E0 V0 w")

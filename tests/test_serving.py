@@ -1,0 +1,128 @@
+"""Tests for the serving simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import CHATGLM2_6B, LatencyModel
+from repro.serving import Request, ServingSimulator, poisson_workload
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel(CHATGLM2_6B, tensor_parallel=4)
+
+
+def simple_requests(n=3, prompt_len=32768, gap=0.0):
+    return [
+        Request(request_id=i, arrival=i * gap, prompt_len=prompt_len,
+                decode_tokens=4)
+        for i in range(n)
+    ]
+
+
+class TestWorkload:
+    def test_poisson_arrivals_sorted_and_bounded(self):
+        reqs = poisson_workload(
+            np.random.default_rng(1), rate_per_s=1.0, duration_s=30.0
+        )
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 30.0 for a in arrivals)
+
+    def test_rate_scales_count(self):
+        lo = poisson_workload(np.random.default_rng(2), rate_per_s=0.2, duration_s=100)
+        hi = poisson_workload(np.random.default_rng(2), rate_per_s=2.0, duration_s=100)
+        assert len(hi) > 3 * len(lo)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            poisson_workload(np.random.default_rng(0), rate_per_s=0, duration_s=1)
+        with pytest.raises(ConfigError):
+            Request(request_id=0, arrival=-1.0, prompt_len=8)
+
+
+class TestSimulator:
+    def test_single_request_ttft_equals_prefill(self, lm):
+        sim = ServingSimulator(lm, method="flash")
+        [m] = sim.run(simple_requests(n=1))
+        assert m.ttft == pytest.approx(lm.ttft(32768, "flash"), rel=0.01)
+        assert m.finish > m.first_token
+
+    def test_chunking_preserves_total_prefill(self, lm):
+        coarse = ServingSimulator(lm, method="flash", chunk_size=10**9)
+        fine = ServingSimulator(lm, method="flash", chunk_size=4096)
+        [a] = coarse.run(simple_requests(n=1))
+        [b] = fine.run(simple_requests(n=1))
+        assert a.ttft == pytest.approx(b.ttft, rel=0.01)
+
+    def test_queueing_compounds(self, lm):
+        """Back-to-back arrivals: later requests queue behind earlier ones."""
+        sim = ServingSimulator(lm, method="flash")
+        metrics = sim.run(simple_requests(n=3, gap=0.0))
+        ttfts = [m.ttft for m in metrics]
+        assert ttfts[0] < ttfts[1] < ttfts[2]
+
+    def test_sample_attention_beats_flash_under_load(self, lm):
+        reqs = poisson_workload(
+            np.random.default_rng(3), rate_per_s=0.15, duration_s=150
+        )
+        flash = ServingSimulator(lm, method="flash").summarize(
+            ServingSimulator(lm, method="flash").run(reqs)
+        )
+        sample = ServingSimulator(lm, method="sample", alpha=0.95).summarize(
+            ServingSimulator(lm, method="sample", alpha=0.95).run(reqs)
+        )
+        assert sample["mean_ttft_s"] < flash["mean_ttft_s"]
+        assert sample["p95_ttft_s"] < flash["p95_ttft_s"]
+
+    def test_lower_alpha_faster(self, lm):
+        reqs = simple_requests(n=4, prompt_len=98304)
+        t95 = ServingSimulator(lm, method="sample", alpha=0.95).run(reqs)
+        t80 = ServingSimulator(lm, method="sample", alpha=0.80).run(reqs)
+        assert t80[-1].ttft < t95[-1].ttft
+
+    def test_round_robin_fairer_for_short_request(self, lm):
+        """A short request arriving behind a huge one gets its first token
+        earlier under round-robin chunk scheduling."""
+        reqs = [
+            Request(request_id=0, arrival=0.0, prompt_len=262144, decode_tokens=1),
+            Request(request_id=1, arrival=0.1, prompt_len=8192, decode_tokens=1),
+        ]
+        fcfs = {m.request_id: m for m in ServingSimulator(
+            lm, method="flash", scheduler="fcfs").run(reqs)}
+        rr = {m.request_id: m for m in ServingSimulator(
+            lm, method="flash", scheduler="round_robin").run(reqs)}
+        assert rr[1].ttft < fcfs[1].ttft
+
+    def test_idle_gaps_handled(self, lm):
+        reqs = [
+            Request(request_id=0, arrival=0.0, prompt_len=8192, decode_tokens=1),
+            Request(request_id=1, arrival=500.0, prompt_len=8192, decode_tokens=1),
+        ]
+        metrics = ServingSimulator(lm, method="flash").run(reqs)
+        assert metrics[1].first_token > 500.0
+        assert metrics[1].ttft == pytest.approx(metrics[0].ttft, rel=0.05)
+
+    def test_all_requests_finish(self, lm):
+        reqs = poisson_workload(
+            np.random.default_rng(4), rate_per_s=0.3, duration_s=60
+        )
+        metrics = ServingSimulator(lm, method="sample").run(reqs)
+        assert len(metrics) == len(reqs)
+        assert all(m.finish >= m.first_token >= m.arrival for m in metrics)
+
+    def test_summarize_keys(self, lm):
+        sim = ServingSimulator(lm)
+        summ = sim.summarize(sim.run(simple_requests(n=2)))
+        assert set(summ) == {
+            "n_requests", "mean_ttft_s", "p50_ttft_s", "p95_ttft_s", "makespan_s"
+        }
+
+    def test_rejects_bad_config(self, lm):
+        with pytest.raises(ConfigError):
+            ServingSimulator(lm, method="warp")
+        with pytest.raises(ConfigError):
+            ServingSimulator(lm, scheduler="magic")
+        with pytest.raises(ConfigError):
+            ServingSimulator(lm).summarize([])
