@@ -24,6 +24,7 @@ from ..attention.masks import (
 )
 from ..attention.striped import striped_element_counts
 from ..config import SampleAttentionConfig
+from ..errors import ConfigError
 
 __all__ = ["SparsePlan"]
 
@@ -89,6 +90,70 @@ class SparsePlan:
         if total == 0:
             return 0.0
         return float(self.element_counts().mean() / total)
+
+    def extended(self, *, s_q: int, s_k: int) -> "SparsePlan":
+        """Staleness-bounded reuse: re-geometry this plan for a later chunk.
+
+        During chunked prefill the KV prefix only grows, so a plan computed
+        at an earlier chunk stays *structurally* valid: the stripe indices
+        ``I_KV`` still point at the same keys, and the local window slides
+        with the queries by construction.  This returns a plan for the new
+        call geometry -- same stripes and sampled rows, window re-derived
+        from ``config.r_window`` at the new key length, kept-ratios
+        re-normalised -- which is what the serving plan cache hands out
+        between replans.  When the geometry is unchanged, the plan itself is
+        returned (cache hits on an unchanged prefix are bitwise-exact).
+        """
+        if s_q < 0 or s_k < self.s_k:
+            raise ConfigError(
+                f"extended: geometry must not shrink (s_q={s_q}, s_k={s_k} "
+                f"vs planned s_k={self.s_k})"
+            )
+        if s_q == self.s_q and s_k == self.s_k:
+            return self
+        kv_ratio = np.asarray(
+            [ix.size / max(s_k, 1) for ix in self.kv_indices], dtype=np.float64
+        )
+        return SparsePlan(
+            kv_indices=self.kv_indices,
+            window=max(self.config.window_size(s_k), 1),
+            kv_ratio=kv_ratio,
+            achieved_share=self.achieved_share,
+            sampled_rows=self.sampled_rows,
+            config=self.config,
+            s_q=s_q,
+            s_k=s_k,
+            extras=dict(self.extras),
+        )
+
+    def validate(self, *, s_k: int | None = None) -> bool:
+        """Cheap structural validity check before serving-time execution.
+
+        Returns ``False`` when the plan cannot be executed safely against a
+        key prefix of length ``s_k`` (defaults to the planned length):
+        window out of range, stripe indices out of bounds / unsorted /
+        duplicated, fewer stripes than ``config.min_keep``, or non-finite
+        accounting.  The serving engine degrades such calls to dense
+        attention instead of crashing mid-request.
+        """
+        sk = self.s_k if s_k is None else int(s_k)
+        if sk < 1 or self.window < 1 or self.window > sk:
+            return False
+        if not self.kv_indices:
+            return False
+        for ix in self.kv_indices:
+            arr = np.asarray(ix)
+            if arr.ndim != 1 or not np.issubdtype(arr.dtype, np.integer):
+                return False
+            if arr.size < self.config.min_keep:
+                return False
+            if arr.size and (arr[0] < 0 or arr[-1] >= sk):
+                return False
+            if arr.size > 1 and (np.diff(arr) <= 0).any():
+                return False
+        if not (np.isfinite(self.kv_ratio).all() and (self.kv_ratio >= 0).all()):
+            return False
+        return True
 
     def sampling_fraction(self) -> float:
         """Stage-1 cost as a fraction of a full score-matrix pass

@@ -733,6 +733,113 @@ def run_serving(scale="quick", seed: int = 0) -> list[Table]:
     return [t]
 
 
+def run_serve(scale="quick", seed: int = 0) -> list[Table]:
+    """Executed serving: drive the engine end to end on a seeded Poisson
+    workload and report executed vs simulator-predicted TTFT side by side.
+
+    The workload is generated at paper-scale prompt lengths (above the
+    ~16K crossover where SampleAttention starts winning); the engine
+    executes each request at 1/16 substrate scale (DESIGN.md's evaluation
+    convention, ``length_scale=16``) with measured wall-clock billing,
+    while the simulator bills the same requests on the A100 roofline.
+    """
+    from ..serving import ServingEngine, ServingSimulator, poisson_workload
+
+    sc = _scale(scale)
+    quick = sc.name == "quick"
+    menu = (16384, 32768) if quick else (32768, 65536)
+    rng = np.random.default_rng(seed)
+    requests = poisson_workload(
+        rng,
+        rate_per_s=0.4 if quick else 0.3,
+        duration_s=16 if quick else 30,
+        prompt_lens=menu,
+        decode_tokens=4,
+        length_dist="lognormal",
+        lognormal_sigma=0.4,
+        max_prompt_len=2 * max(menu),
+    )
+    mdl = build_model(sc.models[0])
+    lm = LatencyModel(CHATGLM2_6B, tensor_parallel=4)
+
+    t1 = Table(
+        "Serving engine vs simulator: executed vs predicted TTFT "
+        f"({sc.models[0]}, chunked prefill, plan cache)",
+        [
+            "method",
+            "engine_mean_ttft_s",
+            "engine_p95_ttft_s",
+            "sim_mean_ttft_s",
+            "sim_p95_ttft_s",
+            "plan_hit_rate",
+            "mean_kept_kv",
+            "fallbacks",
+        ],
+        notes=(
+            "engine executes the numpy pipeline at 1/16 substrate scale "
+            "(measured wall-clock); simulator bills the A100 roofline at "
+            "paper scale -- the TTFT ordering should agree"
+        ),
+    )
+    sample_result = None
+    for method in ("sample", "flash"):
+        engine = ServingEngine(
+            mdl,
+            method=method,
+            chunk_size=256,
+            length_scale=16,
+            replan_interval=4,
+            seed=seed,
+        )
+        res = engine.run(requests)
+        if method == "sample":
+            sample_result = res
+        summ = res.summary()
+        sim = ServingSimulator(lm, method=method, alpha=0.95)
+        sim_summ = sim.summarize(sim.run(requests))
+        t1.add_row(
+            method,
+            round(summ["mean_ttft_s"], 3),
+            round(summ["p95_ttft_s"], 3),
+            round(sim_summ["mean_ttft_s"], 3),
+            round(sim_summ["p95_ttft_s"], 3),
+            round(summ["plan_cache_hit_rate"], 3),
+            round(summ["mean_kept_kv_ratio"], 3),
+            int(summ["plan_fallbacks"]),
+        )
+
+    assert sample_result is not None
+    t2 = Table(
+        "Per-request engine telemetry (method=sample)",
+        [
+            "request_id",
+            "prompt_len",
+            "executed_len",
+            "queue_delay_s",
+            "ttft_s",
+            "n_chunks",
+            "plan_hits",
+            "plan_misses",
+            "outcome",
+        ],
+        notes="queue delay + executed chunked prefill = TTFT; plan hits "
+        "amortise stage-1/2 planning across chunks",
+    )
+    for tm in sample_result.requests:
+        t2.add_row(
+            tm.request_id,
+            tm.prompt_len,
+            tm.executed_len,
+            round(tm.queue_delay, 3) if tm.queue_delay is not None else "-",
+            round(tm.ttft, 3) if tm.ttft is not None else "-",
+            tm.n_chunks,
+            tm.plan_hits,
+            tm.plan_misses,
+            tm.outcome,
+        )
+    return [t1, t2]
+
+
 EXPERIMENTS = {
     "fig1": (run_fig1, "TTFT overview: attention share and speedups (cost model)"),
     "fig2": (run_fig2, "Sparsity foundations: SD per layer/length/head, patterns, CRA"),
@@ -750,6 +857,7 @@ EXPERIMENTS = {
     "fig11": (run_fig11, "Retained-KV frequency for dense vs sparse heads"),
     "plan": (run_plan_demo, "SparsePlan summaries per layer"),
     "serving": (run_serving, "Queueing/TTFT under a request stream (simulator)"),
+    "serve": (run_serve, "Executed serving engine vs simulator prediction"),
 }
 
 

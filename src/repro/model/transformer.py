@@ -145,6 +145,43 @@ class Transformer:
             for _ in range(self.config.n_layers)
         ]
 
+    def prefill_chunk(
+        self,
+        tokens: np.ndarray,
+        positions: np.ndarray,
+        caches: list[LayerKVCache],
+        attend,
+    ) -> np.ndarray:
+        """Run one prompt chunk through every layer, appending to caches.
+
+        This is the single scheduling quantum of chunked serving:
+        ``tokens``/``positions`` are the chunk's ids and absolute positions,
+        ``attend(layer_index, q, keys, values, scale)`` computes the
+        right-aligned causal attention output ``(H, S_chunk, d)`` for one
+        layer against the full cached prefix (keys/values include this
+        chunk's, already appended).  Both :meth:`prefill_chunked` and the
+        serving engine drive chunks through here, so "one chunk of work"
+        means the same thing to the substrate and the scheduler; the
+        engine's ``attend`` additionally routes through its sparse-plan
+        cache and dense fallback.
+
+        Returns the chunk's final residual rows ``(S_chunk, d_model)``.
+        """
+        if len(caches) != self.config.n_layers:
+            raise ModelError("caches must have one entry per layer")
+        x = self.embed(tokens)
+        positions = np.asarray(positions, dtype=np.int64)
+        scale = 1.0 / np.sqrt(self.config.d_head)
+        for i, layer in enumerate(self.layers):
+            q, k_new, v_new = layer.project_qkv(self._norm(x), positions)
+            caches[i].append(k_new, v_new, positions)
+            out = attend(i, q, caches[i].keys, caches[i].values, scale)
+            x = x + layer.merge_heads(out)
+            lw = layer.weights
+            if lw.mlp_w1 is not None:
+                x = x + gated_mlp(self._norm(x), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3)
+        return x
+
     def prefill_chunked(
         self,
         tokens: np.ndarray,
@@ -182,28 +219,19 @@ class Transformer:
             raise ModelError("caches must have one entry per layer")
 
         stats: list[dict] = []
+
+        def attend(i, q, keys, values, scale):
+            out = backend.prefill(q, keys, values, scale=scale, layer=i)
+            stats.append(backend.last_stats())
+            return out
+
         x_last: np.ndarray | None = None
         for c0 in range(0, tokens.size, chunk_size):
             c1 = min(c0 + chunk_size, tokens.size)
-            x = self.embed(tokens[c0:c1])
-            positions = np.arange(c0, c1, dtype=np.int64)
             stats = []
-            for i, layer in enumerate(self.layers):
-                q, k_new, v_new = layer.project_qkv(self._norm(x), positions)
-                caches[i].append(k_new, v_new, positions)
-                out = backend.prefill(
-                    q, caches[i].keys, caches[i].values,
-                    scale=1.0 / np.sqrt(self.config.d_head),
-                    layer=i,
-                )
-                x = x + layer.merge_heads(out)
-                lw = layer.weights
-                if lw.mlp_w1 is not None:
-                    x = x + gated_mlp(
-                        self._norm(x), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3
-                    )
-                stats.append(backend.last_stats())
-            x_last = x
+            x_last = self.prefill_chunk(
+                tokens[c0:c1], np.arange(c0, c1, dtype=np.int64), caches, attend
+            )
         assert x_last is not None
         return x_last, stats
 

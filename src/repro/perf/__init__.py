@@ -29,7 +29,12 @@ from .costmodel import (
     sampling_cost,
 )
 from .hardware import A100_80GB, HardwareSpec
-from .latency import METHODS, AttentionLatency, LatencyModel
+from .latency import (
+    METHODS,
+    AttentionLatency,
+    LatencyModel,
+    executed_elements_seconds,
+)
 
 __all__ = [
     "measure_plan_densities",
@@ -50,4 +55,5 @@ __all__ = [
     "LatencyModel",
     "AttentionLatency",
     "METHODS",
+    "executed_elements_seconds",
 ]

@@ -34,7 +34,12 @@ from .costmodel import (
 )
 from .hardware import A100_80GB, HardwareSpec
 
-__all__ = ["AttentionLatency", "LatencyModel", "METHODS"]
+__all__ = [
+    "AttentionLatency",
+    "LatencyModel",
+    "METHODS",
+    "executed_elements_seconds",
+]
 
 METHODS = ("sdpa", "flash", "sample")
 
@@ -212,6 +217,41 @@ class LatencyModel:
 
     def ttft_speedup_vs_flash(self, s: int, *, alpha: float = 0.95, **kw) -> float:
         return self.ttft(s, "flash") / self.ttft(s, "sample", alpha=alpha, **kw)
+
+
+def executed_elements_seconds(
+    n_elements: float,
+    d_head: int,
+    hardware: HardwareSpec = A100_80GB,
+    *,
+    dtype_bytes: int = 2,
+    n_kernels: int = 1,
+) -> float:
+    """Roofline seconds for a kernel that computed ``n_elements`` scores.
+
+    Deterministic billing for *executed* sparse/dense kernels: the serving
+    engine's ``billing="roofline"`` clock converts the exact score-element
+    counts its kernels report (``StripedAttentionResult.computed_elements``,
+    or the causal count for dense chunks) into virtual seconds on
+    ``hardware``.  Each score element costs ``4 * d_head`` FLOPs (the QK dot
+    product and the PV accumulation) and streams roughly one K and one V
+    row's share of bytes; the roofline max of the two plus launch overhead
+    matches how :class:`LatencyModel` bills analytic kernel costs, so
+    engine-executed and simulator-predicted latencies live on the same
+    scale.
+    """
+    if n_elements < 0:
+        raise ConfigError(f"n_elements must be >= 0, got {n_elements}")
+    if d_head < 1:
+        raise ConfigError(f"d_head must be >= 1, got {d_head}")
+    if n_kernels < 1:
+        raise ConfigError(f"n_kernels must be >= 1, got {n_kernels}")
+    flops = 4.0 * n_elements * d_head
+    bytes_moved = 2.0 * n_elements * d_head * dtype_bytes
+    return (
+        hardware.kernel_seconds(flops, bytes_moved)
+        + hardware.kernel_overhead * (n_kernels - 1)
+    )
 
 
 def series(values, fn) -> np.ndarray:

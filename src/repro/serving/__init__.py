@@ -1,22 +1,55 @@
-"""Serving-layer simulation: queueing consequences of faster prefill.
+"""Serving layer: a discrete-event simulator and an executing engine.
+
+Two views of the same question -- what does faster prefill buy under a
+request stream?  :class:`ServingSimulator` *bills* roofline costs for
+paper-scale hardware; :class:`ServingEngine` *executes* chunked prefill and
+decode on the numpy substrate with a sparse-plan cache, bounded admission,
+and per-request telemetry.  Both share the workload generator and the
+chunk-granular scheduling policies.
 
 Public API::
 
     from repro.serving import (
         Request, RequestMetrics, poisson_workload, ServingSimulator,
+        ServingEngine, EngineResult,
+        ChunkScheduler, AdmissionQueue, AdmissionOutcome,
+        PlanCache, PlanCacheStats,
+        MetricsRegistry, RequestTelemetry,
     )
 """
 
+from .engine import EngineResult, ServingEngine
+from .plan_cache import CachedPlan, PlanCache, PlanCacheStats
+from .scheduler import (
+    ADMISSION_POLICIES,
+    SCHEDULER_NAMES,
+    AdmissionOutcome,
+    AdmissionQueue,
+    ChunkScheduler,
+)
 from .simulator import (
     Request,
     RequestMetrics,
     ServingSimulator,
     poisson_workload,
 )
+from .telemetry import MetricsRegistry, RequestTelemetry
 
 __all__ = [
     "Request",
     "RequestMetrics",
     "ServingSimulator",
     "poisson_workload",
+    "ServingEngine",
+    "EngineResult",
+    "ChunkScheduler",
+    "AdmissionQueue",
+    "AdmissionOutcome",
+    "SCHEDULER_NAMES",
+    "ADMISSION_POLICIES",
+    "PlanCache",
+    "PlanCacheStats",
+    "CachedPlan",
+    "MetricsRegistry",
+    "RequestTelemetry",
 ]

@@ -1,0 +1,171 @@
+"""Sparse-plan cache: amortise SampleAttention's planning across chunks.
+
+Stage-1/stage-2 planning (sample rows, score columns, pick ``I_KV``) is the
+serving-time bottleneck of index-based sparse attention -- MInference and
+AnchorAttention make the same observation -- and in chunked prefill it is
+also *largely redundant*: consecutive chunks of one request see the same KV
+prefix plus a short new suffix, so the structural decisions (which stripes
+matter, how wide the window is) drift slowly.
+
+The cache exploits that: a plan computed at chunk ``c`` for one
+``(request, layer)`` head group is reused -- re-geometried via
+:meth:`~repro.core.plan.SparsePlan.extended` -- until either
+``replan_interval`` chunks have passed or the KV prefix has grown by more
+than ``max_stale_tokens``, whichever comes first.  A cached plan that fails
+:meth:`~repro.core.plan.SparsePlan.validate` is dropped (counted as
+``invalid``) and the caller replans; execution-time failures degrade to
+dense attention in the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.plan import SparsePlan
+from ..errors import ConfigError
+
+__all__ = ["PlanCacheStats", "CachedPlan", "PlanCache"]
+
+
+@dataclass
+class PlanCacheStats:
+    """Monotone counters describing cache behaviour over a run.
+
+    ``hits`` are lookups served from a cached plan (possibly re-geometried);
+    ``misses`` are lookups the caller must replan for (absent entry, replan
+    interval reached, staleness bound exceeded, or invalid entry);
+    ``invalid`` counts the subset of misses caused by validation failure.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: the plan plus the chunk/prefix it was computed at."""
+
+    plan: SparsePlan
+    planned_at_chunk: int
+    planned_s_k: int
+    hits: int = 0
+
+
+class PlanCache:
+    """Per-``(request, layer)`` sparse-plan cache with bounded staleness.
+
+    Parameters
+    ----------
+    replan_interval:
+        Re-plan after this many chunks; ``1`` disables reuse entirely (every
+        chunk replans), larger values trade plan freshness for planning
+        cost.  Lookups at ``chunk_index >= planned_at_chunk +
+        replan_interval`` miss.
+    max_stale_tokens:
+        Optional absolute bound on KV-prefix growth between the planning
+        chunk and a reusing chunk; lookups whose ``s_k`` has grown further
+        miss even inside the replan interval.  ``None`` disables the bound.
+    """
+
+    def __init__(
+        self,
+        replan_interval: int = 4,
+        *,
+        max_stale_tokens: int | None = None,
+    ) -> None:
+        if replan_interval < 1:
+            raise ConfigError(
+                f"replan_interval must be >= 1, got {replan_interval}"
+            )
+        if max_stale_tokens is not None and max_stale_tokens < 0:
+            raise ConfigError(
+                f"max_stale_tokens must be >= 0, got {max_stale_tokens}"
+            )
+        self.replan_interval = replan_interval
+        self.max_stale_tokens = max_stale_tokens
+        self.stats = PlanCacheStats()
+        self._entries: dict[tuple[int, int], CachedPlan] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # --------------------------------------------------------------- lookup
+    def get(
+        self,
+        request_id: int,
+        layer: int,
+        *,
+        chunk_index: int,
+        s_q: int,
+        s_k: int,
+    ) -> SparsePlan | None:
+        """Return a reusable plan for this chunk geometry, or ``None``.
+
+        ``None`` means the caller must plan freshly (and should
+        :meth:`put` the result back).  A returned plan has already been
+        re-geometried to ``(s_q, s_k)`` and passed structural validation.
+        """
+        entry = self._entries.get((request_id, layer))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if chunk_index - entry.planned_at_chunk >= self.replan_interval:
+            self.stats.misses += 1
+            return None
+        if (
+            self.max_stale_tokens is not None
+            and s_k - entry.planned_s_k > self.max_stale_tokens
+        ):
+            self.stats.misses += 1
+            return None
+        try:
+            plan = entry.plan.extended(s_q=s_q, s_k=s_k)
+        except ConfigError:
+            plan = None
+        if plan is None or not plan.validate(s_k=s_k):
+            del self._entries[(request_id, layer)]
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        self.stats.hits += 1
+        return plan
+
+    def put(
+        self,
+        request_id: int,
+        layer: int,
+        plan: SparsePlan,
+        *,
+        chunk_index: int,
+    ) -> None:
+        """Store a freshly computed plan for ``(request, layer)``."""
+        self._entries[(request_id, layer)] = CachedPlan(
+            plan=plan, planned_at_chunk=chunk_index, planned_s_k=plan.s_k
+        )
+        self.stats.stores += 1
+
+    def drop_request(self, request_id: int) -> None:
+        """Evict every layer's entry for a finished/shed request."""
+        keys = [k for k in self._entries if k[0] == request_id]
+        for k in keys:
+            del self._entries[k]
+        self.stats.evictions += len(keys)

@@ -1,0 +1,147 @@
+"""Chunk-granular scheduling policies and bounded admission.
+
+Both the discrete-event :class:`~repro.serving.simulator.ServingSimulator`
+and the executing :class:`~repro.serving.engine.ServingEngine` schedule work
+at the granularity of one prefill chunk (or one decode quantum).  This
+module holds the pieces they share so that "the engine under policy X" and
+"the simulator under policy X" mean the same thing:
+
+* :class:`ChunkScheduler` -- which queued job runs the next chunk, and how
+  the queue rotates afterwards (FCFS runs the head to completion;
+  round-robin moves the head to the tail after every quantum);
+* :class:`AdmissionQueue` -- a bounded queue with an overload policy
+  (``"reject"`` turns newcomers away, ``"shed_oldest"`` drops the oldest
+  job that has not started running), the serving-side backpressure that a
+  real engine needs and an unbounded simulator quietly ignores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from ..errors import ConfigError
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "ADMISSION_POLICIES",
+    "ChunkScheduler",
+    "AdmissionOutcome",
+    "AdmissionQueue",
+]
+
+SCHEDULER_NAMES = ("fcfs", "round_robin")
+ADMISSION_POLICIES = ("reject", "shed_oldest")
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ChunkScheduler:
+    """Chunk-granular scheduling policy shared by engine and simulator.
+
+    Parameters
+    ----------
+    policy:
+        ``"fcfs"`` runs the queue head until the job finishes;
+        ``"round_robin"`` rotates the head to the tail after every chunk
+        (fair to short requests stuck behind long prefills, at the price of
+        more scheduling turns).
+    """
+
+    policy: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        if self.policy not in SCHEDULER_NAMES:
+            raise ConfigError(
+                f"unknown scheduler {self.policy!r}; expected one of "
+                f"{SCHEDULER_NAMES}"
+            )
+
+    def select(self, queue: list) -> int:
+        """Index of the job that runs the next quantum (always the head --
+        rotation, not selection, is where the policies differ)."""
+        if not queue:
+            raise ConfigError("select on an empty queue")
+        return 0
+
+    def rotate(self, queue: list) -> None:
+        """Post-quantum queue update for an *unfinished* head job."""
+        if self.policy == "round_robin" and len(queue) > 1:
+            queue.append(queue.pop(0))
+
+
+@dataclass(frozen=True)
+class AdmissionOutcome(Generic[T]):
+    """Result of offering one item to a bounded queue.
+
+    Attributes
+    ----------
+    admitted:
+        Whether the offered item entered the queue.
+    shed:
+        A previously queued item evicted to make room (``shed_oldest``
+        policy), or ``None``.
+    """
+
+    admitted: bool
+    shed: T | None = None
+
+
+class AdmissionQueue(Generic[T]):
+    """Bounded FIFO with an explicit overload policy.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of items held (queued + running).
+    policy:
+        ``"reject"`` -- a full queue turns the newcomer away;
+        ``"shed_oldest"`` -- a full queue drops the oldest *sheddable* item
+        (per the predicate passed to :meth:`offer`) in favour of the
+        newcomer, falling back to rejection when nothing is sheddable.
+    """
+
+    def __init__(self, capacity: int, policy: str = "reject") -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if policy not in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"unknown admission policy {policy!r}; expected one of "
+                f"{ADMISSION_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.items: list[T] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def offer(
+        self, item: T, *, sheddable: Callable[[T], bool] | None = None
+    ) -> AdmissionOutcome[T]:
+        """Try to admit ``item``; may shed an old item under overload.
+
+        ``sheddable`` guards which queued items the ``shed_oldest`` policy
+        may evict (e.g. only jobs that have not started prefill, so no
+        computed work is thrown away); by default every item is sheddable.
+        """
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return AdmissionOutcome(admitted=True)
+        if self.policy == "reject":
+            return AdmissionOutcome(admitted=False)
+        for i, old in enumerate(self.items):
+            if sheddable is None or sheddable(old):
+                self.items.pop(i)
+                self.items.append(item)
+                return AdmissionOutcome(admitted=True, shed=old)
+        return AdmissionOutcome(admitted=False)
+
+    def remove(self, item: T) -> None:
+        """Remove a finished item (identity comparison)."""
+        for i, queued in enumerate(self.items):
+            if queued is item:
+                self.items.pop(i)
+                return
+        raise ConfigError("remove: item not in queue")

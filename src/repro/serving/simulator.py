@@ -29,8 +29,11 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..perf.latency import LatencyModel
+from .scheduler import ChunkScheduler
 
 __all__ = ["Request", "RequestMetrics", "poisson_workload", "ServingSimulator"]
+
+LENGTH_DISTS = ("uniform", "lognormal")
 
 
 @dataclass(frozen=True)
@@ -69,10 +72,43 @@ def poisson_workload(
     duration_s: float,
     prompt_lens: tuple[int, ...] = (32768, 65536, 98304),
     decode_tokens: int = 32,
+    length_dist: str = "uniform",
+    lognormal_sigma: float = 0.75,
+    max_prompt_len: int | None = None,
 ) -> list[Request]:
-    """Poisson arrivals with prompt lengths drawn uniformly from a menu."""
+    """Poisson arrivals with a configurable prompt-length distribution.
+
+    ``length_dist="uniform"`` draws lengths uniformly from the
+    ``prompt_lens`` menu (the original behaviour).  ``"lognormal"`` models
+    the heavy-tailed mixes real serving traffic shows -- many medium
+    prompts, a fat tail of very long ones: lengths are drawn as
+    ``median(prompt_lens) * LogNormal(0, lognormal_sigma)`` and clamped to
+    ``[min(prompt_lens) // 4, max_prompt_len]`` (the cap defaults to
+    ``4 * max(prompt_lens)``), so the menu fixes the distribution's centre
+    and the clamp bounds its support.
+    """
     if rate_per_s <= 0 or duration_s <= 0:
         raise ConfigError("rate_per_s and duration_s must be positive")
+    if length_dist not in LENGTH_DISTS:
+        raise ConfigError(
+            f"unknown length_dist {length_dist!r}; expected one of {LENGTH_DISTS}"
+        )
+    if not prompt_lens or any(p < 1 for p in prompt_lens):
+        raise ConfigError("prompt_lens must be a non-empty menu of lengths >= 1")
+    if lognormal_sigma <= 0:
+        raise ConfigError("lognormal_sigma must be positive")
+    median = float(np.median(np.asarray(prompt_lens)))
+    lo = max(min(prompt_lens) // 4, 1)
+    hi = max_prompt_len if max_prompt_len is not None else 4 * max(prompt_lens)
+    if hi < lo:
+        raise ConfigError(f"max_prompt_len {hi} below clamp floor {lo}")
+
+    def draw_len() -> int:
+        if length_dist == "uniform":
+            return int(rng.choice(prompt_lens))
+        raw = median * float(rng.lognormal(0.0, lognormal_sigma))
+        return int(np.clip(round(raw), lo, hi))
+
     requests = []
     t = 0.0
     i = 0
@@ -84,7 +120,7 @@ def poisson_workload(
             Request(
                 request_id=i,
                 arrival=t,
-                prompt_len=int(rng.choice(prompt_lens)),
+                prompt_len=draw_len(),
                 decode_tokens=decode_tokens,
             )
         )
@@ -115,7 +151,13 @@ class ServingSimulator:
         Prefill chunk length in tokens (scheduling granularity).
     scheduler:
         ``"fcfs"`` (run each request to completion) or ``"round_robin"``
-        (rotate one chunk per queued request -- fair, more overhead).
+        (rotate one chunk per queued request -- fair, more overhead).  The
+        policy object is shared with the executing engine
+        (:class:`~repro.serving.scheduler.ChunkScheduler`).
+    decode_chunk_tokens:
+        Decode tokens billed per scheduling turn under ``round_robin``, so
+        rotation stays fair after prefill ends (FCFS bills a request's
+        whole decode in one turn, which is equivalent for it).
     """
 
     def __init__(
@@ -126,18 +168,21 @@ class ServingSimulator:
         alpha: float = 0.95,
         chunk_size: int = 8192,
         scheduler: str = "fcfs",
+        decode_chunk_tokens: int = 16,
     ) -> None:
         if method not in ("flash", "sample", "sdpa"):
             raise ConfigError(f"unknown method {method!r}")
-        if scheduler not in ("fcfs", "round_robin"):
-            raise ConfigError(f"unknown scheduler {scheduler!r}")
         if chunk_size < 1:
             raise ConfigError("chunk_size must be >= 1")
+        if decode_chunk_tokens < 1:
+            raise ConfigError("decode_chunk_tokens must be >= 1")
         self.latency_model = latency_model
         self.method = method
         self.alpha = alpha
         self.chunk_size = chunk_size
+        self._sched = ChunkScheduler(scheduler)  # validates the name
         self.scheduler = scheduler
+        self.decode_chunk_tokens = decode_chunk_tokens
 
     # ----------------------------------------------------------- cost model
     def _chunk_seconds(self, chunk_len: int, history: int) -> float:
@@ -190,15 +235,24 @@ class ServingSimulator:
                 admit(now)
                 continue
 
-            job = queue[0]
+            job = queue[self._sched.select(queue)]
             if job.chunks_left:
                 chunk_len, history = job.chunks_left.pop(0)
                 now += self._chunk_seconds(chunk_len, history)
                 if not job.chunks_left:
                     job.first_token = now  # prefill done = first token out
             elif job.decode_left > 0:
-                now += self._decode_seconds(job) * job.decode_left
-                job.decode_left = 0
+                # FCFS runs the head to completion, so billing its decode
+                # monolithically is equivalent; under round-robin decode must
+                # be billed in chunk-sized steps or rotation stops being fair
+                # the moment a request leaves prefill.
+                steps = (
+                    job.decode_left
+                    if self.scheduler == "fcfs"
+                    else min(job.decode_left, self.decode_chunk_tokens)
+                )
+                now += self._decode_seconds(job) * steps
+                job.decode_left -= steps
 
             if not job.chunks_left and job.decode_left == 0:
                 queue.pop(0)
@@ -210,8 +264,8 @@ class ServingSimulator:
                         finish=now,
                     )
                 )
-            elif self.scheduler == "round_robin":
-                queue.append(queue.pop(0))
+            else:
+                self._sched.rotate(queue)
             admit(now)
 
         return sorted(metrics, key=lambda m: m.request_id)

@@ -1,0 +1,231 @@
+"""Request-level and engine-level serving telemetry.
+
+The executing engine produces two kinds of signal the simulator never had:
+*per-request* timelines (queue delay, TTFT, chunk latencies, plan-cache
+behaviour, kept-KV ratios) and *engine-wide* counters (admissions,
+rejections, plan-cache hit rate, dense fallbacks).  Both live here, in a
+:class:`MetricsRegistry` that experiments can export as JSON or Markdown --
+the serving-side observability the paper's Appendix A.6 engineering
+discussion presumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["RequestTelemetry", "MetricsRegistry"]
+
+OUTCOMES = ("queued", "running", "completed", "rejected", "shed")
+
+
+@dataclass
+class RequestTelemetry:
+    """One request's serving timeline and execution statistics.
+
+    Times are on the engine's virtual clock (seconds).  ``None`` fields mean
+    the event has not happened (yet, or ever -- a rejected request has no
+    ``first_token``).
+
+    Attributes
+    ----------
+    request_id, arrival, prompt_len:
+        Identity: copied from the originating workload request
+        (``prompt_len`` is the workload's *paper-scale* length).
+    executed_len:
+        Tokens the engine actually prefilled (after ``length_scale``).
+    outcome:
+        ``queued`` / ``running`` / ``completed`` / ``rejected`` / ``shed``.
+    first_chunk_start, first_token, finish:
+        Timeline anchors; ``first_token`` marks the end of prefill.
+    chunk_seconds:
+        Per-prefill-chunk latency, in scheduling order.
+    decode_seconds:
+        Total decode time.
+    plan_hits, plan_misses, plan_fallbacks:
+        Sparse-plan cache behaviour for this request (fallbacks are chunks
+        that degraded to dense attention after a plan failed validation).
+    kept_kv_ratios:
+        Mean kept-KV ratio of each executed sparse plan.
+    generated:
+        Token ids the engine decoded after prefill.
+    """
+
+    request_id: int
+    arrival: float
+    prompt_len: int
+    executed_len: int = 0
+    outcome: str = "queued"
+    first_chunk_start: float | None = None
+    first_token: float | None = None
+    finish: float | None = None
+    chunk_seconds: list[float] = field(default_factory=list)
+    decode_seconds: float = 0.0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_fallbacks: int = 0
+    kept_kv_ratios: list[float] = field(default_factory=list)
+    generated: list[int] = field(default_factory=list)
+
+    @property
+    def ttft(self) -> float | None:
+        """Arrival to first token (queueing + executed prefill)."""
+        if self.first_token is None:
+            return None
+        return self.first_token - self.arrival
+
+    @property
+    def queue_delay(self) -> float | None:
+        """Arrival to the start of the first executed chunk."""
+        if self.first_chunk_start is None:
+            return None
+        return self.first_chunk_start - self.arrival
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_seconds)
+
+    @property
+    def mean_kept_kv(self) -> float:
+        if not self.kept_kv_ratios:
+            return 0.0
+        return float(np.mean(self.kept_kv_ratios))
+
+    def as_dict(self) -> dict:
+        """JSON-friendly flat record."""
+        return {
+            "request_id": self.request_id,
+            "arrival": self.arrival,
+            "prompt_len": self.prompt_len,
+            "executed_len": self.executed_len,
+            "outcome": self.outcome,
+            "queue_delay_s": self.queue_delay,
+            "ttft_s": self.ttft,
+            "finish_s": self.finish,
+            "n_chunks": self.n_chunks,
+            "decode_seconds": self.decode_seconds,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_fallbacks": self.plan_fallbacks,
+            "mean_kept_kv": round(self.mean_kept_kv, 4),
+            "n_generated": len(self.generated),
+        }
+
+
+class MetricsRegistry:
+    """Engine-wide metrics: counters, observation series, request records.
+
+    ``inc``/``observe`` are the usual two metric primitives (monotone
+    counter, value series); request records are first-class because the
+    serving experiments report per-request TTFT tables, not just aggregates.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._series: dict[str, list[float]] = {}
+        self.requests: list[RequestTelemetry] = []
+
+    # ------------------------------------------------------------ primitives
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def observe(self, name: str, value: float) -> None:
+        self._series.setdefault(name, []).append(float(value))
+
+    def series(self, name: str) -> list[float]:
+        return list(self._series.get(name, ()))
+
+    # -------------------------------------------------------------- requests
+    def new_request(
+        self, request_id: int, arrival: float, prompt_len: int
+    ) -> RequestTelemetry:
+        tm = RequestTelemetry(
+            request_id=request_id, arrival=arrival, prompt_len=prompt_len
+        )
+        self.requests.append(tm)
+        return tm
+
+    def by_outcome(self, outcome: str) -> list[RequestTelemetry]:
+        if outcome not in OUTCOMES:
+            raise ConfigError(
+                f"unknown outcome {outcome!r}; expected one of {OUTCOMES}"
+            )
+        return [t for t in self.requests if t.outcome == outcome]
+
+    @property
+    def completed(self) -> list[RequestTelemetry]:
+        return self.by_outcome("completed")
+
+    # --------------------------------------------------------------- summary
+    def plan_cache_hit_rate(self) -> float:
+        hits = self.counter("plan_cache_hits")
+        misses = self.counter("plan_cache_misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def summary(self) -> dict:
+        """Aggregate view: admission counts, TTFT stats, cache behaviour."""
+        done = self.completed
+        ttfts = np.asarray([t.ttft for t in done if t.ttft is not None])
+        delays = np.asarray(
+            [t.queue_delay for t in done if t.queue_delay is not None]
+        )
+        chunk_s = [s for t in done for s in t.chunk_seconds]
+        kept = [t.mean_kept_kv for t in done if t.kept_kv_ratios]
+        out = {
+            "n_requests": len(self.requests),
+            "n_completed": len(done),
+            "n_rejected": len(self.by_outcome("rejected")),
+            "n_shed": len(self.by_outcome("shed")),
+            "mean_ttft_s": float(ttfts.mean()) if ttfts.size else 0.0,
+            "p50_ttft_s": float(np.percentile(ttfts, 50)) if ttfts.size else 0.0,
+            "p95_ttft_s": float(np.percentile(ttfts, 95)) if ttfts.size else 0.0,
+            "mean_queue_delay_s": float(delays.mean()) if delays.size else 0.0,
+            "makespan_s": float(
+                max((t.finish for t in done if t.finish is not None), default=0.0)
+            ),
+            "mean_chunk_seconds": float(np.mean(chunk_s)) if chunk_s else 0.0,
+            "plan_cache_hit_rate": self.plan_cache_hit_rate(),
+            "plan_fallbacks": self.counter("plan_fallbacks"),
+            "mean_kept_kv_ratio": float(np.mean(kept)) if kept else 0.0,
+        }
+        return out
+
+    # --------------------------------------------------------------- exports
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Full dump: summary, counters, per-request records."""
+        payload = {
+            "summary": self.summary(),
+            "counters": dict(self._counters),
+            "requests": [t.as_dict() for t in self.requests],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def to_markdown(self) -> str:
+        """Summary block plus a per-request Markdown table."""
+        summ = self.summary()
+        lines = ["### Serving telemetry", ""]
+        lines += [f"- **{k}**: {_fmt(v)}" for k, v in summ.items()]
+        if self.requests:
+            cols = list(self.requests[0].as_dict())
+            lines += ["", "| " + " | ".join(cols) + " |"]
+            lines.append("|" + "|".join("---" for _ in cols) + "|")
+            for t in self.requests:
+                rec = t.as_dict()
+                lines.append("| " + " | ".join(_fmt(rec[c]) for c in cols) + " |")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

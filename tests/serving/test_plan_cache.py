@@ -1,0 +1,147 @@
+"""Tests for the sparse-plan cache and SparsePlan's serving extensions."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import SampleAttentionConfig
+from repro.core import plan_sample_attention, sample_attention
+from repro.errors import ConfigError
+from repro.serving import PlanCache
+
+CFG = SampleAttentionConfig(alpha=0.95, r_row=0.1, r_window=0.1, block_size=16)
+
+
+@pytest.fixture(scope="module")
+def qkv():
+    rng = np.random.default_rng(7)
+    h, h_kv, s, d = 4, 2, 256, 32
+    q = rng.standard_normal((h, s, d)).astype(np.float32)
+    k = rng.standard_normal((h_kv, s, d)).astype(np.float32)
+    v = rng.standard_normal((h_kv, s, d)).astype(np.float32)
+    return q, k, v
+
+
+@pytest.fixture(scope="module")
+def plan(qkv):
+    q, k, _ = qkv
+    return plan_sample_attention(q, k, CFG)
+
+
+class TestSparsePlanExtended:
+    def test_same_geometry_returns_self(self, plan):
+        assert plan.extended(s_q=plan.s_q, s_k=plan.s_k) is plan
+
+    def test_grown_prefix_regeometries(self, plan):
+        bigger = plan.extended(s_q=64, s_k=plan.s_k + 128)
+        assert bigger.s_q == 64 and bigger.s_k == plan.s_k + 128
+        assert bigger.window == max(CFG.window_size(bigger.s_k), 1)
+        # Stripe indices are reused verbatim; ratios renormalise to new s_k.
+        for a, b in zip(bigger.kv_indices, plan.kv_indices):
+            assert a is b
+        assert np.allclose(bigger.kv_ratio * bigger.s_k, plan.kv_ratio * plan.s_k)
+        assert bigger.validate()
+
+    def test_shrinking_prefix_rejected(self, plan):
+        with pytest.raises(ConfigError):
+            plan.extended(s_q=plan.s_q, s_k=plan.s_k - 1)
+
+    def test_validate_accepts_fresh_plan(self, plan):
+        assert plan.validate()
+        assert plan.validate(s_k=plan.s_k + 64)
+
+    def test_validate_catches_corruption(self, plan):
+        bad = dataclasses.replace(plan, window=0)
+        assert not bad.validate()
+        bad = dataclasses.replace(plan, window=plan.s_k + 1)
+        assert not bad.validate()
+        oob = [np.array([0, plan.s_k], dtype=np.int64)] * plan.n_heads
+        assert not dataclasses.replace(plan, kv_indices=oob).validate()
+        unsorted = [np.array([5, 3], dtype=np.int64)] * plan.n_heads
+        assert not dataclasses.replace(plan, kv_indices=unsorted).validate()
+        nan_ratio = dataclasses.replace(
+            plan, kv_ratio=np.full_like(plan.kv_ratio, np.nan)
+        )
+        assert not nan_ratio.validate()
+
+
+class TestPlanCache:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            PlanCache(0)
+        with pytest.raises(ConfigError):
+            PlanCache(4, max_stale_tokens=-1)
+
+    def test_miss_then_hit(self, plan):
+        cache = PlanCache(replan_interval=4)
+        assert cache.get(0, 0, chunk_index=0, s_q=plan.s_q, s_k=plan.s_k) is None
+        cache.put(0, 0, plan, chunk_index=0)
+        got = cache.get(0, 0, chunk_index=1, s_q=plan.s_q, s_k=plan.s_k)
+        assert got is plan
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_is_bitwise_identical_for_unchanged_prefix(self, qkv, plan):
+        """Property: a cache hit at the planning geometry executes the exact
+        plan that was stored, so outputs are bitwise equal to a fresh run."""
+        q, k, v = qkv
+        cache = PlanCache(replan_interval=4)
+        cache.put(3, 1, plan, chunk_index=0)
+        cached = cache.get(3, 1, chunk_index=2, s_q=plan.s_q, s_k=plan.s_k)
+        assert cached is plan  # same object, not a reconstruction
+        fresh = sample_attention(q, k, v, CFG, plan=plan)
+        reused = sample_attention(q, k, v, CFG, plan=cached)
+        assert np.array_equal(fresh.output, reused.output)
+        assert fresh.output.dtype == reused.output.dtype
+
+    def test_replan_interval_expires_entry(self, plan):
+        cache = PlanCache(replan_interval=2)
+        cache.put(0, 0, plan, chunk_index=0)
+        assert (
+            cache.get(0, 0, chunk_index=1, s_q=plan.s_q, s_k=plan.s_k) is not None
+        )
+        assert cache.get(0, 0, chunk_index=2, s_q=plan.s_q, s_k=plan.s_k) is None
+
+    def test_staleness_bound_expires_entry(self, plan):
+        cache = PlanCache(replan_interval=100, max_stale_tokens=64)
+        cache.put(0, 0, plan, chunk_index=0)
+        ok = cache.get(0, 0, chunk_index=1, s_q=32, s_k=plan.s_k + 64)
+        assert ok is not None and ok.s_k == plan.s_k + 64
+        assert cache.get(0, 0, chunk_index=1, s_q=32, s_k=plan.s_k + 65) is None
+
+    def test_invalid_entry_dropped_and_counted(self, plan):
+        cache = PlanCache(replan_interval=4)
+        bad = dataclasses.replace(
+            plan,
+            kv_indices=[np.array([plan.s_k + 9], dtype=np.int64)] * plan.n_heads,
+        )
+        cache.put(0, 0, bad, chunk_index=0)
+        assert cache.get(0, 0, chunk_index=1, s_q=plan.s_q, s_k=plan.s_k) is None
+        assert cache.stats.invalid == 1
+        assert len(cache) == 0  # entry was evicted, not retried forever
+
+    def test_keys_are_per_request_and_layer(self, plan):
+        cache = PlanCache(replan_interval=4)
+        cache.put(1, 0, plan, chunk_index=0)
+        assert cache.get(1, 1, chunk_index=0, s_q=plan.s_q, s_k=plan.s_k) is None
+        assert cache.get(2, 0, chunk_index=0, s_q=plan.s_q, s_k=plan.s_k) is None
+        assert (
+            cache.get(1, 0, chunk_index=0, s_q=plan.s_q, s_k=plan.s_k) is plan
+        )
+
+    def test_drop_request_evicts_all_layers(self, plan):
+        cache = PlanCache(replan_interval=4)
+        for layer in range(3):
+            cache.put(5, layer, plan, chunk_index=0)
+        cache.put(6, 0, plan, chunk_index=0)
+        cache.drop_request(5)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 3
+
+    def test_stats_as_dict(self, plan):
+        cache = PlanCache()
+        cache.put(0, 0, plan, chunk_index=0)
+        cache.get(0, 0, chunk_index=1, s_q=plan.s_q, s_k=plan.s_k)
+        d = cache.stats.as_dict()
+        assert d["stores"] == 1 and d["hits"] == 1 and d["hit_rate"] == 1.0

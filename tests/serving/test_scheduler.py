@@ -1,0 +1,103 @@
+"""Tests for the shared scheduling policies and bounded admission."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import (
+    ADMISSION_POLICIES,
+    SCHEDULER_NAMES,
+    AdmissionQueue,
+    ChunkScheduler,
+)
+
+
+class TestChunkScheduler:
+    def test_known_policies(self):
+        assert set(SCHEDULER_NAMES) == {"fcfs", "round_robin"}
+        for name in SCHEDULER_NAMES:
+            assert ChunkScheduler(name).policy == name
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            ChunkScheduler("priority")
+
+    def test_select_is_head(self):
+        assert ChunkScheduler("fcfs").select(["a", "b"]) == 0
+        assert ChunkScheduler("round_robin").select(["a", "b"]) == 0
+
+    def test_select_empty_raises(self):
+        with pytest.raises(ConfigError):
+            ChunkScheduler("fcfs").select([])
+
+    def test_fcfs_never_rotates(self):
+        q = ["a", "b", "c"]
+        ChunkScheduler("fcfs").rotate(q)
+        assert q == ["a", "b", "c"]
+
+    def test_round_robin_rotates_head_to_tail(self):
+        q = ["a", "b", "c"]
+        ChunkScheduler("round_robin").rotate(q)
+        assert q == ["b", "c", "a"]
+
+    def test_round_robin_single_item_noop(self):
+        q = ["a"]
+        ChunkScheduler("round_robin").rotate(q)
+        assert q == ["a"]
+
+
+class TestAdmissionQueue:
+    def test_known_policies(self):
+        assert set(ADMISSION_POLICIES) == {"reject", "shed_oldest"}
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(0)
+        with pytest.raises(ConfigError):
+            AdmissionQueue(4, "drop_newest")
+
+    def test_admits_under_capacity(self):
+        q = AdmissionQueue(2)
+        out = q.offer("a")
+        assert out.admitted and out.shed is None
+        assert q.items == ["a"] and len(q) == 1
+
+    def test_reject_when_full(self):
+        q = AdmissionQueue(1, "reject")
+        assert q.offer("a").admitted
+        out = q.offer("b")
+        assert not out.admitted and out.shed is None
+        assert q.items == ["a"]
+
+    def test_shed_oldest_evicts_head(self):
+        q = AdmissionQueue(2, "shed_oldest")
+        q.offer("a")
+        q.offer("b")
+        out = q.offer("c")
+        assert out.admitted and out.shed == "a"
+        assert q.items == ["b", "c"]
+
+    def test_shed_respects_predicate(self):
+        """Only sheddable items may be evicted; the oldest sheddable goes."""
+        q = AdmissionQueue(2, "shed_oldest")
+        q.offer("running")
+        q.offer("queued")
+        out = q.offer("new", sheddable=lambda x: x != "running")
+        assert out.admitted and out.shed == "queued"
+        assert q.items == ["running", "new"]
+
+    def test_shed_falls_back_to_reject(self):
+        q = AdmissionQueue(1, "shed_oldest")
+        q.offer("running")
+        out = q.offer("new", sheddable=lambda x: False)
+        assert not out.admitted and out.shed is None
+        assert q.items == ["running"]
+
+    def test_remove_by_identity(self):
+        a, b = object(), object()
+        q = AdmissionQueue(4)
+        q.offer(a)
+        q.offer(b)
+        q.remove(a)
+        assert q.items == [b]
+        with pytest.raises(ConfigError):
+            q.remove(a)

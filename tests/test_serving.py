@@ -41,6 +41,39 @@ class TestWorkload:
         with pytest.raises(ConfigError):
             Request(request_id=0, arrival=-1.0, prompt_len=8)
 
+    def test_lognormal_lengths_bounded(self):
+        menu = (16384, 32768)
+        reqs = poisson_workload(
+            np.random.default_rng(5), rate_per_s=3.0, duration_s=100,
+            prompt_lens=menu, length_dist="lognormal",
+        )
+        lens = [r.prompt_len for r in reqs]
+        assert all(menu[0] // 4 <= n <= 4 * menu[1] for n in lens)
+        # Heavy tail: some draws exceed the menu's maximum.
+        assert max(lens) > max(menu)
+        assert len(set(lens)) > len(menu)  # continuous, not menu-quantised
+
+    def test_lognormal_respects_explicit_cap(self):
+        reqs = poisson_workload(
+            np.random.default_rng(6), rate_per_s=3.0, duration_s=100,
+            prompt_lens=(16384,), length_dist="lognormal",
+            lognormal_sigma=2.0, max_prompt_len=20000,
+        )
+        assert max(r.prompt_len for r in reqs) <= 20000
+
+    def test_lognormal_rejects_bad_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            poisson_workload(rng, rate_per_s=1, duration_s=1,
+                             length_dist="pareto")
+        with pytest.raises(ConfigError):
+            poisson_workload(rng, rate_per_s=1, duration_s=1,
+                             length_dist="lognormal", lognormal_sigma=0.0)
+        with pytest.raises(ConfigError):
+            poisson_workload(rng, rate_per_s=1, duration_s=1,
+                             prompt_lens=(16384,), length_dist="lognormal",
+                             max_prompt_len=100)
+
 
 class TestSimulator:
     def test_single_request_ttft_equals_prefill(self, lm):
@@ -94,6 +127,29 @@ class TestSimulator:
         rr = {m.request_id: m for m in ServingSimulator(
             lm, method="flash", scheduler="round_robin").run(reqs)}
         assert rr[1].ttft < fcfs[1].ttft
+
+    def test_round_robin_bills_decode_in_chunks(self, lm):
+        """Regression: round-robin must keep rotating during decode.  A
+        request arriving while an earlier one decodes a long answer gets its
+        first token before that decode finishes -- previously the whole
+        decode was billed in one monolithic turn."""
+        reqs = [
+            Request(request_id=0, arrival=0.0, prompt_len=8192,
+                    decode_tokens=2048),
+            Request(request_id=1, arrival=0.1, prompt_len=8192,
+                    decode_tokens=1),
+        ]
+        fcfs = {m.request_id: m for m in ServingSimulator(
+            lm, method="flash", scheduler="fcfs").run(reqs)}
+        rr = {m.request_id: m for m in ServingSimulator(
+            lm, method="flash", scheduler="round_robin",
+            decode_chunk_tokens=16).run(reqs)}
+        assert rr[1].first_token < fcfs[0].finish
+        assert rr[1].ttft < fcfs[1].ttft
+        # Work is conserved: the schedulers only reorder it.
+        assert max(m.finish for m in rr.values()) == pytest.approx(
+            max(m.finish for m in fcfs.values()), rel=0.01
+        )
 
     def test_idle_gaps_handled(self, lm):
         reqs = [
