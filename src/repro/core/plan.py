@@ -132,9 +132,15 @@ class SparsePlan:
         Returns ``False`` when the plan cannot be executed safely against a
         key prefix of length ``s_k`` (defaults to the planned length):
         window out of range, stripe indices out of bounds / unsorted /
-        duplicated, fewer stripes than ``config.min_keep``, or non-finite
-        accounting.  The serving engine degrades such calls to dense
-        attention instead of crashing mid-request.
+        duplicated, fewer stripes than ``config.min_keep``, per-head
+        accounting arrays whose length disagrees with the head count, or
+        non-finite accounting.  The serving engine degrades such calls to
+        dense attention instead of crashing mid-request.
+
+        Note that validation is *structural*: a plan whose
+        ``achieved_share`` honestly reports sub-``alpha`` coverage is still
+        executable -- catching that is the serving engine's runtime CRA
+        guard, not ``validate``.
         """
         sk = self.s_k if s_k is None else int(s_k)
         if sk < 1 or self.window < 1 or self.window > sk:
@@ -145,13 +151,18 @@ class SparsePlan:
             arr = np.asarray(ix)
             if arr.ndim != 1 or not np.issubdtype(arr.dtype, np.integer):
                 return False
-            if arr.size < self.config.min_keep:
-                return False
+            if arr.size < min(self.config.min_keep, sk):
+                return False  # stage 2 clamps min_keep to s_k; mirror that
             if arr.size and (arr[0] < 0 or arr[-1] >= sk):
                 return False
             if arr.size > 1 and (np.diff(arr) <= 0).any():
                 return False
+        if self.kv_ratio.shape != (self.n_heads,):
+            return False
         if not (np.isfinite(self.kv_ratio).all() and (self.kv_ratio >= 0).all()):
+            return False
+        share = np.asarray(self.achieved_share)
+        if share.shape != (self.n_heads,) or not np.isfinite(share).all():
             return False
         return True
 

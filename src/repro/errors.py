@@ -16,6 +16,8 @@ __all__ = [
     "ModelError",
     "TaskError",
     "ProfilingError",
+    "FaultInjectionError",
+    "DeadlineExceededError",
 ]
 
 
@@ -45,3 +47,16 @@ class TaskError(ReproError, ValueError):
 
 class ProfilingError(ReproError, RuntimeError):
     """Offline hyperparameter profiling could not find a feasible setting."""
+
+
+class FaultInjectionError(ReproError, RuntimeError):
+    """An injected (or genuinely transient) serving-time failure.
+
+    Raised by the fault-injection harness to simulate transient kernel or
+    planning failures; the serving engine's bounded-retry policy treats any
+    ``FaultInjectionError`` escaping a prefill chunk as retryable.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request exceeded its per-request deadline on the virtual clock."""

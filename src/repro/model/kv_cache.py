@@ -87,6 +87,23 @@ class LayerKVCache:
         self._pos[self._len : self._len + n] = positions
         self._len += n
 
+    def truncate(self, length: int) -> None:
+        """Roll the cache back to its first ``length`` entries.
+
+        Serving-side failure recovery: a prefill chunk that dies partway has
+        already appended this chunk's keys/values in the layers it reached,
+        so retrying the chunk (or degrading it to a different attention
+        path) must first rewind every layer's cache to the pre-chunk length
+        or positions would double-append.  Truncation only moves the live
+        length; the overallocated arrays are reused by the retry.
+        """
+        if length < 0 or length > self._len:
+            raise ModelError(
+                f"truncate: length {length} outside [0, {self._len}]"
+            )
+        self._acc[:, length : self._len] = 0.0
+        self._len = length
+
     def record_attention(self, probs: np.ndarray) -> None:
         """Accumulate decode-step attention mass ``(H_q, 1, len)`` onto the
         eviction statistic, summing grouped query heads per KV head."""

@@ -7,18 +7,44 @@ decode on the numpy substrate with a sparse-plan cache, bounded admission,
 and per-request telemetry.  Both share the workload generator and the
 chunk-granular scheduling policies.
 
+The robustness layer rides on the engine: a seeded
+:class:`~repro.serving.faults.FaultInjector` adversary, per-request
+deadlines and bounded retry, a :class:`CircuitBreaker` over sparse
+planning, and the :data:`DEGRADATION_LEVELS` ladder
+(sparse -> widened -> dense -> shed), audited by
+:func:`check_recovery_invariants`.
+
 Public API::
 
     from repro.serving import (
         Request, RequestMetrics, poisson_workload, ServingSimulator,
-        ServingEngine, EngineResult,
+        ServingEngine, EngineResult, CircuitBreaker, DEGRADATION_LEVELS,
         ChunkScheduler, AdmissionQueue, AdmissionOutcome,
         PlanCache, PlanCacheStats,
-        MetricsRegistry, RequestTelemetry,
+        MetricsRegistry, RequestTelemetry, TERMINAL_OUTCOMES,
+        FaultInjector, corrupt_plan, CORRUPTION_MODES, FAULT_KINDS,
+        inject_admission_burst, check_recovery_invariants,
+        FaultInjectionError, DeadlineExceededError,
     )
 """
 
-from .engine import EngineResult, ServingEngine
+from ..errors import DeadlineExceededError, FaultInjectionError
+from .engine import (
+    DEGRADATION_LEVELS,
+    CircuitBreaker,
+    EngineResult,
+    ServingEngine,
+)
+from .faults import (
+    CORRUPTION_MODES,
+    FAULT_KINDS,
+    SEMANTIC_CORRUPTIONS,
+    STRUCTURAL_CORRUPTIONS,
+    FaultInjector,
+    check_recovery_invariants,
+    corrupt_plan,
+    inject_admission_burst,
+)
 from .plan_cache import CachedPlan, PlanCache, PlanCacheStats
 from .scheduler import (
     ADMISSION_POLICIES,
@@ -33,7 +59,7 @@ from .simulator import (
     ServingSimulator,
     poisson_workload,
 )
-from .telemetry import MetricsRegistry, RequestTelemetry
+from .telemetry import TERMINAL_OUTCOMES, MetricsRegistry, RequestTelemetry
 
 __all__ = [
     "Request",
@@ -42,6 +68,8 @@ __all__ = [
     "poisson_workload",
     "ServingEngine",
     "EngineResult",
+    "CircuitBreaker",
+    "DEGRADATION_LEVELS",
     "ChunkScheduler",
     "AdmissionQueue",
     "AdmissionOutcome",
@@ -52,4 +80,15 @@ __all__ = [
     "CachedPlan",
     "MetricsRegistry",
     "RequestTelemetry",
+    "TERMINAL_OUTCOMES",
+    "FaultInjector",
+    "corrupt_plan",
+    "CORRUPTION_MODES",
+    "STRUCTURAL_CORRUPTIONS",
+    "SEMANTIC_CORRUPTIONS",
+    "FAULT_KINDS",
+    "inject_admission_burst",
+    "check_recovery_invariants",
+    "FaultInjectionError",
+    "DeadlineExceededError",
 ]

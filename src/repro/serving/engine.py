@@ -19,9 +19,19 @@ KV caches.  The serving mechanics are the ones a production engine needs:
 * **sparse-plan caching** -- stage-1/stage-2 planning reruns only every
   ``replan_interval`` chunks per (request, layer) head group, with
   staleness-bounded reuse in between;
-* **graceful degradation** -- a plan that fails validation (or a kernel
-  that raises) falls back to dense attention for that chunk, recorded in
-  telemetry rather than failing the request.
+* **graceful degradation** -- a per-request ladder *adaptive sparse ->
+  widened sparse -> dense -> shed*: a plan that fails validation, reports
+  CRA coverage below alpha (the runtime CRA guard), or whose kernel raises
+  falls back to dense attention for that call, and a request that keeps
+  tripping the guard is escalated down the ladder, every transition
+  recorded in telemetry rather than failing the request;
+* **fault tolerance** -- per-request deadlines on the virtual clock,
+  bounded chunk retry with exponential backoff + jitter (KV caches are
+  rolled back before each retry), and an engine-wide
+  :class:`CircuitBreaker` that routes planning to validated dense fallback
+  after repeated CRA-guard violations.  A
+  :class:`~repro.serving.faults.FaultInjector` can be attached to exercise
+  all of it deterministically.
 
 Time is a virtual clock: arrivals stamp it forward, and each executed
 chunk advances it either by measured wall-clock (``billing="measured"``,
@@ -41,23 +51,93 @@ import numpy as np
 from ..attention.flash import flash_attention
 from ..config import DEFAULT_CONFIG, SampleAttentionConfig
 from ..core.sample_attention import plan_sample_attention, sample_attention
-from ..errors import ConfigError, ReproError
+from ..errors import ConfigError, FaultInjectionError, ReproError
 from ..model.kv_cache import LayerKVCache
 from ..model.transformer import Transformer
 from ..perf.hardware import A100_80GB, HardwareSpec
 from ..perf.latency import executed_elements_seconds
 from ..tasks.needle import make_needle_case
+from .faults import FaultInjector, corrupt_plan
 from .plan_cache import PlanCache
 from .scheduler import ADMISSION_POLICIES, AdmissionQueue, ChunkScheduler
 from .simulator import Request
 from .telemetry import MetricsRegistry, RequestTelemetry
 
-__all__ = ["EngineResult", "ServingEngine"]
+__all__ = [
+    "EngineResult",
+    "ServingEngine",
+    "CircuitBreaker",
+    "DEGRADATION_LEVELS",
+]
 
 ENGINE_METHODS = ("sample", "flash")
 BILLING_MODES = ("measured", "roofline")
 
+#: The graceful-degradation ladder, most capable first.  ``"widened"``
+#: replans with a doubled local window, doubled stage-1 sampling, and a
+#: raised stripe floor (cheap insurance stripes); ``"dense"`` abandons
+#: sparse planning for the request; ``"shed"`` is the terminal rung for a
+#: request the engine gives up on (retry budget exhausted).
+DEGRADATION_LEVELS = ("sparse", "widened", "dense", "shed")
+
 _MIN_EXECUTED_LEN = 64
+_CRA_EPS = 1e-6  # float tolerance for the runtime achieved-share guard
+_SPARSE_LEVELS = ("sparse", "widened")
+
+
+class CircuitBreaker:
+    """Engine-wide breaker over sparse planning.
+
+    Repeated runtime CRA-guard violations (``threshold`` consecutive, over
+    any mix of requests) trip the breaker **open**: every sparse attention
+    call degrades to validated dense fallback for ``cooldown_chunks``
+    executed chunks.  The breaker then goes **half-open** -- sparse
+    planning is allowed again, one success closes it, one violation trips
+    it straight back open.  This is the stop-loss between "one poisoned
+    plan" and "every request pays planning cost for plans the guard will
+    reject anyway".
+    """
+
+    def __init__(self, threshold: int = 4, cooldown_chunks: int = 8) -> None:
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_chunks < 1:
+            raise ConfigError(
+                f"cooldown_chunks must be >= 1, got {cooldown_chunks}"
+            )
+        self.threshold = threshold
+        self.cooldown_chunks = cooldown_chunks
+        self.state = "closed"
+        self.trips = 0
+        self._consecutive = 0
+        self._cooldown_left = 0
+
+    def allow_sparse(self) -> bool:
+        return self.state != "open"
+
+    def record_violation(self) -> bool:
+        """One CRA-guard violation; returns ``True`` when this trips the
+        breaker open."""
+        self._consecutive += 1
+        if self.state == "half_open" or self._consecutive >= self.threshold:
+            self.state = "open"
+            self._cooldown_left = self.cooldown_chunks
+            self._consecutive = 0
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        if self.state == "half_open":
+            self.state = "closed"
+
+    def tick(self) -> None:
+        """One executed chunk elapsed (cooldown clock)."""
+        if self.state == "open":
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = "half_open"
 
 
 @dataclass
@@ -75,6 +155,8 @@ class _Job:
     position: int = 0
     elements: float = 0.0  # deterministic-billing accumulator, per quantum
     generated: list[int] = field(default_factory=list)
+    level: str = "sparse"  # current degradation-ladder rung
+    level_violations: int = 0  # consecutive CRA-guard trips at this rung
 
 
 @dataclass
@@ -148,6 +230,32 @@ class ServingEngine:
     prompt_builder:
         Optional ``f(request, executed_len) -> np.ndarray`` token-id
         builder; defaults to seeded needle-in-a-haystack prompts.
+    fault_injector:
+        Optional :class:`~repro.serving.faults.FaultInjector`; ``None``
+        (default) injects nothing and the robustness machinery is pure
+        overheadless bookkeeping.
+    deadline_s:
+        Per-request deadline on the virtual clock, measured from arrival.
+        A request whose deadline has passed is dropped (outcome
+        ``"deadline_exceeded"``) *before* its next scheduling quantum; a
+        quantum that finishes the request is always delivered.  ``None``
+        disables deadlines.
+    max_retries:
+        Retry budget per prefill chunk for transient
+        :class:`~repro.errors.FaultInjectionError` failures; KV caches are
+        rolled back before each retry.  A chunk still failing after the
+        budget sheds the request (terminal, recorded as a ladder
+        transition to ``"shed"``).
+    retry_backoff_s:
+        Base of the exponential retry backoff billed to the virtual clock:
+        attempt ``a`` waits ``retry_backoff_s * 2**a * jitter`` with
+        deterministic seeded jitter in ``[1, 1.5)``.
+    degrade_after:
+        Consecutive runtime CRA-guard violations a request tolerates at
+        one ladder rung before escalating to the next
+        (:data:`DEGRADATION_LEVELS`).
+    breaker_threshold, breaker_cooldown_chunks:
+        Engine-wide :class:`CircuitBreaker` policy over sparse planning.
     """
 
     def __init__(
@@ -168,6 +276,13 @@ class ServingEngine:
         decode_chunk_tokens: int = 8,
         seed: int = 0,
         prompt_builder=None,
+        fault_injector: FaultInjector | None = None,
+        deadline_s: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.02,
+        degrade_after: int = 2,
+        breaker_threshold: int = 4,
+        breaker_cooldown_chunks: int = 8,
     ) -> None:
         if method not in ENGINE_METHODS:
             raise ConfigError(
@@ -192,6 +307,16 @@ class ServingEngine:
                 f"unknown admission policy {admission_policy!r}; expected "
                 f"one of {ADMISSION_POLICIES}"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be > 0, got {deadline_s}")
+        if max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ConfigError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        if degrade_after < 1:
+            raise ConfigError(f"degrade_after must be >= 1, got {degrade_after}")
         self.model = model
         self.method = method
         self.config = config
@@ -207,6 +332,21 @@ class ServingEngine:
         self.prompt_builder = prompt_builder or self._default_prompt
         self.plan_cache = PlanCache(
             replan_interval, max_stale_tokens=max_stale_tokens
+        )
+        self.fault_injector = fault_injector
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.degrade_after = degrade_after
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_chunks)
+        # The "widened" ladder rung: double the window and the stage-1
+        # sample, quadruple the stripe floor -- cheaper than dense, far more
+        # conservative than the tuned plan (the paper's knobs all moved
+        # toward recall).
+        self._widened_config = config.replace(
+            r_window=min(1.0, 2.0 * config.r_window),
+            r_row=min(1.0, 2.0 * config.r_row),
+            min_keep=max(4 * config.min_keep, 4),
         )
         self._scale = 1.0 / np.sqrt(model.config.d_head)
 
@@ -233,6 +373,8 @@ class ServingEngine:
         caches = self.model.new_caches(
             capacity=int(tokens.size + request.decode_tokens + 1)
         )
+        level = "sparse" if self.method == "sample" else "dense"
+        tm.degradation_level = level
         return _Job(
             request=request,
             tokens=tokens,
@@ -240,15 +382,48 @@ class ServingEngine:
             chunks_left=chunks,
             decode_left=request.decode_tokens,
             telemetry=tm,
+            level=level,
         )
 
+    # ----------------------------------------------------- degradation ladder
+    def _transition(self, job: _Job, to_level: str, reason: str) -> None:
+        """Move ``job`` down the ladder, recording the audit trail."""
+        tm = job.telemetry
+        tm.transitions.append(
+            {
+                "chunk": job.chunk_index,
+                "from": job.level,
+                "to": to_level,
+                "reason": reason,
+            }
+        )
+        job.level = to_level
+        job.level_violations = 0
+        tm.degradation_level = to_level
+        self._registry.inc("degradation_transitions")
+        self._registry.inc(f"degraded_to_{to_level}")
+        # Plans cached at the old rung (possibly the poisoned ones that got
+        # us here) must not follow the request to the new one.
+        self.plan_cache.drop_request(job.request.request_id)
+
+    def _escalate(self, job: _Job, reason: str) -> None:
+        nxt = DEGRADATION_LEVELS[DEGRADATION_LEVELS.index(job.level) + 1]
+        self._transition(job, nxt, reason)
+
     # ------------------------------------------------------------ attention
-    def _attend(self, job: _Job):
-        """Build the per-layer attention closure for one chunk of ``job``."""
+    def _attend(self, job: _Job, fail_at: int | None = None):
+        """Build the per-layer attention closure for one chunk of ``job``.
+
+        ``fail_at`` is the fault-injection hook: the closure raises a
+        transient :class:`~repro.errors.FaultInjectionError` when asked to
+        attend for that layer index (after earlier layers already appended
+        KV -- the partial state chunk retry must roll back).
+        """
         rid = job.request.request_id
         chunk_index = job.chunk_index
         tm = job.telemetry
         registry = self._registry
+        breaker_dense = [False]  # count breaker-forced chunks once per build
 
         def dense(q, keys, values, scale, s_q, s_k, h):
             # Right-aligned causal chunk: rows attend to the full prefix.
@@ -256,15 +431,44 @@ class ServingEngine:
             job.elements += h * (s_q * offset + s_q * (s_q + 1) / 2.0)
             return flash_attention(q, keys, values, causal=True, scale=scale)
 
+        def violation(reason: str) -> None:
+            # One runtime CRA-guard trip: the plan in hand must not execute.
+            tm.cra_violations += 1
+            tm.plan_fallbacks += 1
+            job.level_violations += 1
+            registry.inc("cra_guard_violations")
+            registry.inc(f"cra_violation_{reason}")
+            registry.inc("plan_fallbacks")
+            self.plan_cache.invalidate(rid, i_current[0])
+            if self.breaker.record_violation():
+                registry.inc("circuit_breaker_trips")
+
+        i_current = [0]
+
         def attend(i, q, keys, values, scale):
+            i_current[0] = i
+            if fail_at is not None and i == fail_at:
+                tm.faults_injected += 1
+                registry.inc("faults_injected")
+                registry.inc("fault_attend_transient")
+                raise FaultInjectionError(
+                    f"injected transient attend failure (request {rid}, "
+                    f"chunk {chunk_index}, layer {i})"
+                )
             s_q, s_k, h = q.shape[1], keys.shape[1], q.shape[0]
-            if self.method == "flash":
+            if job.level not in _SPARSE_LEVELS:
                 return dense(q, keys, values, scale, s_q, s_k, h)
+            if not self.breaker.allow_sparse():
+                if not breaker_dense[0]:
+                    breaker_dense[0] = True
+                    registry.inc("breaker_dense_chunks")
+                return dense(q, keys, values, scale, s_q, s_k, h)
+            cfg = self.config if job.level == "sparse" else self._widened_config
             plan = self.plan_cache.get(
                 rid, i, chunk_index=chunk_index, s_q=s_q, s_k=s_k
             )
             if plan is None:
-                plan = plan_sample_attention(q, keys, self.config, scale=scale)
+                plan = plan_sample_attention(q, keys, cfg, scale=scale)
                 self.plan_cache.put(rid, i, plan, chunk_index=chunk_index)
                 tm.plan_misses += 1
                 registry.inc("plan_cache_misses")
@@ -274,17 +478,25 @@ class ServingEngine:
                 tm.plan_hits += 1
                 registry.inc("plan_cache_hits")
             if not plan.validate(s_k=s_k):
-                tm.plan_fallbacks += 1
-                registry.inc("plan_fallbacks")
+                violation("invalid_plan")
+                return dense(q, keys, values, scale, s_q, s_k, h)
+            # Runtime CRA guard: the plan's own coverage accounting must
+            # clear alpha -- a structurally valid plan reporting less (a
+            # semantically poisoned cache entry, or genuine drift) may not
+            # execute sparsely.
+            if float(np.min(plan.achieved_share)) < cfg.alpha - _CRA_EPS:
+                violation("share_below_alpha")
                 return dense(q, keys, values, scale, s_q, s_k, h)
             try:
                 res = sample_attention(
-                    q, keys, values, self.config, scale=scale, plan=plan
+                    q, keys, values, cfg, scale=scale, plan=plan
                 )
+            except FaultInjectionError:
+                raise  # transient: the chunk retry loop owns recovery
             except ReproError:
-                tm.plan_fallbacks += 1
-                registry.inc("plan_fallbacks")
+                violation("kernel_error")
                 return dense(q, keys, values, scale, s_q, s_k, h)
+            self.breaker.record_success()
             job.elements += float(res.kernel.computed_elements.sum())
             tm.kept_kv_ratios.append(plan.mean_kv_ratio)
             return res.output
@@ -302,24 +514,99 @@ class ServingEngine:
         job.elements = 0.0
         return seconds
 
-    def _run_chunk(self, job: _Job) -> float:
-        """Execute the next prefill chunk; returns virtual seconds."""
-        c0, c1 = job.chunks_left.pop(0)
-        attend = self._attend(job)
-        t0 = time.perf_counter()
-        x = self.model.prefill_chunk(
-            job.tokens[c0:c1],
-            np.arange(c0, c1, dtype=np.int64),
-            job.caches,
-            attend,
-        )
+    def _run_chunk(self, job: _Job) -> tuple[float, bool]:
+        """Execute the next prefill chunk; returns ``(virtual seconds, ok)``.
+
+        ``ok=False`` means the chunk still failed after the retry budget
+        (the caller sheds the request; the seconds spent are still billed).
+        Transient failures roll the KV caches back to their pre-attempt
+        length and retry after exponential backoff with seeded jitter.
+        """
+        rid = job.request.request_id
+        tm = job.telemetry
+        registry = self._registry
+        inj = self.fault_injector
+        self.breaker.tick()
+        c0, c1 = job.chunks_left[0]
+        chunk = job.chunk_index
+
+        # Fault hook: corrupt this request's cached plans before the chunk.
+        if inj is not None and job.level in _SPARSE_LEVELS:
+            mode = inj.poison_mode(rid, chunk)
+            if mode is not None:
+                n = self.plan_cache.poison(
+                    rid,
+                    lambda layer, p: corrupt_plan(
+                        p, mode, inj.corruption_rng(rid, chunk, layer)
+                    ),
+                )
+                if n:
+                    tm.faults_injected += 1
+                    registry.inc("faults_injected")
+                    registry.inc("fault_plan_poison")
+
+        must_fail = inj.attend_failures(rid, chunk) if inj is not None else 0
+        n_layers = self.model.config.n_layers
+        seconds = 0.0
+        attempt = 0
+        while True:
+            marks = [len(c) for c in job.caches]
+            fail_at = (
+                inj.fail_layer(rid, chunk, attempt, n_layers)
+                if attempt < must_fail
+                else None
+            )
+            attend = self._attend(job, fail_at=fail_at)
+            t0 = time.perf_counter()
+            try:
+                x = self.model.prefill_chunk(
+                    job.tokens[c0:c1],
+                    np.arange(c0, c1, dtype=np.int64),
+                    job.caches,
+                    attend,
+                )
+            except FaultInjectionError:
+                seconds += self._bill(job, time.perf_counter() - t0)
+                for cache, mark in zip(job.caches, marks):
+                    cache.truncate(mark)
+                if attempt >= self.max_retries:
+                    registry.inc("retry_exhausted")
+                    return seconds, False
+                tm.retries += 1
+                registry.inc("chunk_retries")
+                jitter = (
+                    inj.backoff_jitter(rid, chunk, attempt)
+                    if inj is not None
+                    else 1.0
+                )
+                seconds += self.retry_backoff_s * (2.0**attempt) * jitter
+                attempt += 1
+                continue
+            break
+        wall = time.perf_counter() - t0
+        job.chunks_left.pop(0)
         if not job.chunks_left:
             # Prefill complete: the last row's logits yield the first token.
             job.next_token = int(np.argmax(self.model.logits(x[-1:])[0]))
             job.position = int(job.tokens.size)
-        wall = time.perf_counter() - t0
         job.chunk_index += 1
-        return self._bill(job, wall)
+        bill = self._bill(job, wall)
+        if inj is not None:
+            # Latency faults scale the successful attempt's bill (backoff
+            # and failed attempts are billed unscaled).
+            if inj.spike_fired(rid, chunk):
+                tm.faults_injected += 1
+                registry.inc("faults_injected")
+                registry.inc("fault_latency_spike")
+            if inj.is_straggler(rid):
+                registry.inc("fault_straggler_chunks")
+            bill *= inj.latency_multiplier(rid, chunk)
+        seconds += bill
+        if job.level in _SPARSE_LEVELS and (
+            job.level_violations >= self.degrade_after
+        ):
+            self._escalate(job, "cra_guard")
+        return seconds, True
 
     def _run_decode(self, job: _Job, steps: int) -> float:
         """Execute ``steps`` greedy decode tokens; returns virtual seconds."""
@@ -383,16 +670,40 @@ class ServingEngine:
                 admit(now)
                 continue
 
+            if self.deadline_s is not None:
+                # Deadline sweep: expired jobs are dropped before their next
+                # quantum (lenient -- a quantum that finishes a request
+                # always delivers it).
+                expired = [
+                    j
+                    for j in queue.items
+                    if now - j.request.arrival > self.deadline_s
+                ]
+                for j in expired:
+                    queue.remove(j)
+                    j.telemetry.finish = now
+                    drop(j, "deadline_exceeded")
+                if not queue.items:
+                    continue
+
             job = queue.items[self.scheduler.select(queue.items)]
             tm = job.telemetry
             if tm.first_chunk_start is None:
                 tm.first_chunk_start = now
                 tm.outcome = "running"
             if job.chunks_left:
-                seconds = self._run_chunk(job)
+                seconds, ok = self._run_chunk(job)
                 now += seconds
                 tm.chunk_seconds.append(seconds)
                 registry.observe("chunk_seconds", seconds)
+                if not ok:
+                    # Retry budget exhausted: terminal rung of the ladder.
+                    queue.remove(job)
+                    self._transition(job, "shed", "retry_exhausted")
+                    tm.finish = now
+                    drop(job, "shed")
+                    admit(now)
+                    continue
                 if not job.chunks_left:
                     tm.first_token = now
             elif job.decode_left > 0:
@@ -421,4 +732,5 @@ class ServingEngine:
         registry.inc("plan_cache_stores", float(stats.stores))
         registry.inc("plan_cache_invalid", float(stats.invalid))
         registry.inc("plan_cache_evictions", float(stats.evictions))
+        registry.inc("plan_cache_poisoned", float(stats.poisoned))
         return EngineResult(telemetry=registry, method=self.method)

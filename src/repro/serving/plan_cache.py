@@ -42,6 +42,7 @@ class PlanCacheStats:
     stores: int = 0
     invalid: int = 0
     evictions: int = 0
+    poisoned: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -55,6 +56,7 @@ class PlanCacheStats:
             "stores": self.stores,
             "invalid": self.invalid,
             "evictions": self.evictions,
+            "poisoned": self.poisoned,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -162,6 +164,36 @@ class PlanCache:
             plan=plan, planned_at_chunk=chunk_index, planned_s_k=plan.s_k
         )
         self.stats.stores += 1
+
+    def poison(self, request_id: int, corrupt) -> int:
+        """Replace every cached plan of one request via ``corrupt(layer,
+        plan) -> plan`` (fault injection: cache corruption / staleness
+        poisoning).  Returns the number of entries poisoned.
+
+        This is the adversary's door into the cache: subsequent
+        :meth:`get` calls must either reject the corrupted plan
+        (validation -> counted ``invalid``, caller replans) or -- for
+        semantically poisoned plans that remain structurally valid -- hand
+        it out for the engine's runtime CRA guard to catch.
+        """
+        n = 0
+        for (rid, layer), entry in self._entries.items():
+            if rid == request_id:
+                entry.plan = corrupt(layer, entry.plan)
+                n += 1
+        self.stats.poisoned += n
+        return n
+
+    def invalidate(self, request_id: int, layer: int) -> bool:
+        """Evict one entry; the engine calls this when its runtime CRA
+        guard rejects a plan the cache handed out (a semantically poisoned
+        plan passes structural validation, so :meth:`get` cannot catch it
+        -- without eviction it would trip the guard on every reuse)."""
+        if (request_id, layer) in self._entries:
+            del self._entries[(request_id, layer)]
+            self.stats.evictions += 1
+            return True
+        return False
 
     def drop_request(self, request_id: int) -> None:
         """Evict every layer's entry for a finished/shed request."""

@@ -94,7 +94,10 @@ class AdmissionQueue(Generic[T]):
     Parameters
     ----------
     capacity:
-        Maximum number of items held (queued + running).
+        Maximum number of items held (queued + running).  ``0`` is a valid
+        degenerate configuration -- a drained queue that admits nothing --
+        under which :meth:`offer` rejects every item under *both* policies
+        (``shed_oldest`` has nothing to shed and must not raise).
     policy:
         ``"reject"`` -- a full queue turns the newcomer away;
         ``"shed_oldest"`` -- a full queue drops the oldest *sheddable* item
@@ -103,8 +106,8 @@ class AdmissionQueue(Generic[T]):
     """
 
     def __init__(self, capacity: int, policy: str = "reject") -> None:
-        if capacity < 1:
-            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if capacity < 0:
+            raise ConfigError(f"capacity must be >= 0, got {capacity}")
         if policy not in ADMISSION_POLICIES:
             raise ConfigError(
                 f"unknown admission policy {policy!r}; expected one of "
@@ -129,7 +132,9 @@ class AdmissionQueue(Generic[T]):
         if len(self.items) < self.capacity:
             self.items.append(item)
             return AdmissionOutcome(admitted=True)
-        if self.policy == "reject":
+        if self.policy == "reject" or self.capacity == 0:
+            # Zero capacity: shedding the oldest to make room is pointless
+            # (the newcomer would not fit either), so reject outright.
             return AdmissionOutcome(admitted=False)
         for i, old in enumerate(self.items):
             if sheddable is None or sheddable(old):

@@ -18,9 +18,21 @@ import numpy as np
 
 from ..errors import ConfigError
 
-__all__ = ["RequestTelemetry", "MetricsRegistry"]
+__all__ = ["OUTCOMES", "TERMINAL_OUTCOMES", "RequestTelemetry", "MetricsRegistry"]
 
-OUTCOMES = ("queued", "running", "completed", "rejected", "shed")
+OUTCOMES = (
+    "queued",
+    "running",
+    "completed",
+    "rejected",
+    "shed",
+    "deadline_exceeded",
+)
+
+#: Outcomes a request can legitimately end a run in; anything else after
+#: :meth:`~repro.serving.engine.ServingEngine.run` returns is a wedged
+#: request (the chaos invariants treat it as a breach).
+TERMINAL_OUTCOMES = ("completed", "rejected", "shed", "deadline_exceeded")
 
 
 @dataclass
@@ -39,7 +51,8 @@ class RequestTelemetry:
     executed_len:
         Tokens the engine actually prefilled (after ``length_scale``).
     outcome:
-        ``queued`` / ``running`` / ``completed`` / ``rejected`` / ``shed``.
+        ``queued`` / ``running`` / ``completed`` / ``rejected`` / ``shed``
+        / ``deadline_exceeded``.
     first_chunk_start, first_token, finish:
         Timeline anchors; ``first_token`` marks the end of prefill.
     chunk_seconds:
@@ -47,12 +60,27 @@ class RequestTelemetry:
     decode_seconds:
         Total decode time.
     plan_hits, plan_misses, plan_fallbacks:
-        Sparse-plan cache behaviour for this request (fallbacks are chunks
-        that degraded to dense attention after a plan failed validation).
+        Sparse-plan cache behaviour for this request (fallbacks are
+        attention calls that degraded to dense after a plan failed
+        validation or the runtime CRA guard).
     kept_kv_ratios:
         Mean kept-KV ratio of each executed sparse plan.
     generated:
         Token ids the engine decoded after prefill.
+    degradation_level:
+        Current rung of the engine's degradation ladder (``"sparse"`` /
+        ``"widened"`` / ``"dense"`` / ``"shed"``).
+    transitions:
+        Ladder transitions, each ``{"chunk", "from", "to", "reason"}`` --
+        the audit trail the recovery invariants check.
+    retries:
+        Prefill-chunk retry attempts consumed by transient failures.
+    cra_violations:
+        Runtime CRA-guard trips (plan invalid at execution time, reported
+        coverage below alpha, or a kernel failure); each one forces a
+        dense fallback for that attention call.
+    faults_injected:
+        Fault-injection events that actually fired on this request.
     """
 
     request_id: int
@@ -70,6 +98,11 @@ class RequestTelemetry:
     plan_fallbacks: int = 0
     kept_kv_ratios: list[float] = field(default_factory=list)
     generated: list[int] = field(default_factory=list)
+    degradation_level: str = "sparse"
+    transitions: list[dict] = field(default_factory=list)
+    retries: int = 0
+    cra_violations: int = 0
+    faults_injected: int = 0
 
     @property
     def ttft(self) -> float | None:
@@ -113,6 +146,11 @@ class RequestTelemetry:
             "plan_fallbacks": self.plan_fallbacks,
             "mean_kept_kv": round(self.mean_kept_kv, 4),
             "n_generated": len(self.generated),
+            "degradation_level": self.degradation_level,
+            "n_transitions": len(self.transitions),
+            "retries": self.retries,
+            "cra_violations": self.cra_violations,
+            "faults_injected": self.faults_injected,
         }
 
 
@@ -163,6 +201,13 @@ class MetricsRegistry:
     def completed(self) -> list[RequestTelemetry]:
         return self.by_outcome("completed")
 
+    def unterminated(self) -> list[RequestTelemetry]:
+        """Requests not in a terminal state -- non-empty after a finished
+        run means the engine wedged a request (a chaos-invariant breach)."""
+        return [
+            t for t in self.requests if t.outcome not in TERMINAL_OUTCOMES
+        ]
+
     # --------------------------------------------------------------- summary
     def plan_cache_hit_rate(self) -> float:
         hits = self.counter("plan_cache_hits")
@@ -195,6 +240,14 @@ class MetricsRegistry:
             "plan_cache_hit_rate": self.plan_cache_hit_rate(),
             "plan_fallbacks": self.counter("plan_fallbacks"),
             "mean_kept_kv_ratio": float(np.mean(kept)) if kept else 0.0,
+            # Robustness: deadlines, retries, CRA guard, breaker, ladder.
+            "n_deadline_exceeded": len(self.by_outcome("deadline_exceeded")),
+            "n_degraded": sum(1 for t in self.requests if t.transitions),
+            "chunk_retries": self.counter("chunk_retries"),
+            "cra_guard_violations": self.counter("cra_guard_violations"),
+            "circuit_breaker_trips": self.counter("circuit_breaker_trips"),
+            "breaker_dense_chunks": self.counter("breaker_dense_chunks"),
+            "faults_injected": self.counter("faults_injected"),
         }
         return out
 

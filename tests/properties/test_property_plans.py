@@ -7,6 +7,7 @@ from repro import SampleAttentionConfig
 from repro.attention import causal_block_mask, sink_block_mask, window_block_mask
 from repro.attention.striped import normalise_bands, striped_element_counts
 from repro.core import plan_sample_attention, sample_column_scores
+from repro.serving import CORRUPTION_MODES, STRUCTURAL_CORRUPTIONS, corrupt_plan
 
 SETTINGS = dict(max_examples=20, deadline=None)
 
@@ -69,6 +70,78 @@ class TestPlanInvariants:
         )
         causal_total = s * (s + 1) // 2
         assert 0 < counts[0] <= causal_total
+
+
+class TestValidationUnderCorruption:
+    """validate() must catch every structural corruption the adversary can
+    inject, on fresh plans and on staleness-extended reuses alike."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        s=st.integers(16, 120),
+        mode=st.sampled_from(STRUCTURAL_CORRUPTIONS),
+    )
+    @settings(**SETTINGS)
+    def test_structural_corruption_always_caught(self, seed, s, mode):
+        q, k = _qk(seed, 2, s, 8)
+        plan = plan_sample_attention(q, k, SampleAttentionConfig(alpha=0.9))
+        assert plan.validate()
+        rng = np.random.default_rng(seed)
+        bad = corrupt_plan(plan, mode, rng)
+        assert not bad.validate()
+        assert not bad.validate(s_k=s)
+
+    @given(seed=st.integers(0, 10_000), s=st.integers(16, 120))
+    @settings(**SETTINGS)
+    def test_semantic_corruption_stays_structurally_valid(self, seed, s):
+        """share_undercut is the adversary the runtime CRA guard exists
+        for: validate() must NOT catch it (it is structurally executable),
+        and the reported coverage must genuinely undercut alpha."""
+        q, k = _qk(seed, 2, s, 8)
+        plan = plan_sample_attention(q, k, SampleAttentionConfig(alpha=0.9))
+        bad = corrupt_plan(plan, "share_undercut", np.random.default_rng(seed))
+        assert bad.validate()
+        assert float(np.min(bad.achieved_share)) < 0.9
+
+    @given(
+        seed=st.integers(0, 10_000),
+        s=st.integers(16, 100),
+        grow=st.integers(1, 64),
+        mode=st.sampled_from(STRUCTURAL_CORRUPTIONS),
+    )
+    @settings(**SETTINGS)
+    def test_extended_does_not_launder_corruption(self, seed, s, grow, mode):
+        """Re-geometrying a corrupted plan for a later chunk must not make
+        it validate (the cache extends before validating, so a corruption
+        surviving extension would reach the kernel)."""
+        q, k = _qk(seed, 2, s, 8)
+        plan = plan_sample_attention(q, k, SampleAttentionConfig(alpha=0.9))
+        bad = corrupt_plan(plan, mode, np.random.default_rng(seed))
+        try:
+            ext = bad.extended(s_q=min(grow, 32), s_k=s + grow)
+        except Exception:
+            return  # refusing to extend a corrupted plan is also safe
+        # extended() honestly recomputes the window (from config) and
+        # kv_ratio (from the actual stripe indices), so corruptions of
+        # those fields are *repaired*, not laundered; corruptions of the
+        # fields it carries forward must still be caught.
+        if mode not in ("window_zero", "window_overflow", "ratio_nan"):
+            assert not ext.validate(s_k=s + grow)
+
+    @given(seed=st.integers(0, 10_000), s=st.integers(16, 100),
+           grow=st.integers(0, 64))
+    @settings(**SETTINGS)
+    def test_extended_honest_plan_stays_valid(self, seed, s, grow):
+        q, k = _qk(seed, 2, s, 8)
+        plan = plan_sample_attention(q, k, SampleAttentionConfig(alpha=0.9))
+        ext = plan.extended(s_q=max(grow, 1), s_k=s + grow)
+        assert ext.validate(s_k=s + grow)
+
+    def test_mode_taxonomy_is_partition(self):
+        assert set(STRUCTURAL_CORRUPTIONS).isdisjoint({"share_undercut"})
+        assert set(CORRUPTION_MODES) == set(STRUCTURAL_CORRUPTIONS) | {
+            "share_undercut"
+        }
 
 
 class TestBandNormalisation:

@@ -51,9 +51,18 @@ class TestAdmissionQueue:
 
     def test_rejects_bad_config(self):
         with pytest.raises(ConfigError):
-            AdmissionQueue(0)
+            AdmissionQueue(-1)
         with pytest.raises(ConfigError):
             AdmissionQueue(4, "drop_newest")
+
+    def test_zero_capacity_rejects_under_both_policies(self):
+        """Regression: a drained (capacity-0) queue is a valid degenerate
+        config; ``shed_oldest`` has nothing to shed and must not raise."""
+        for policy in ADMISSION_POLICIES:
+            q = AdmissionQueue(0, policy)
+            out = q.offer("a")
+            assert not out.admitted and out.shed is None
+            assert q.items == [] and len(q) == 0
 
     def test_admits_under_capacity(self):
         q = AdmissionQueue(2)
