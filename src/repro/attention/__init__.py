@@ -6,13 +6,24 @@ Public API::
     from repro.attention import (
         dense_attention, attention_probs,   # gold-standard quadratic kernel
         flash_attention,                    # tiled online-softmax reference
-        block_sparse_attention,             # masked tiled kernel
+        block_sparse_attention,             # masked tiled kernel (reference)
+        fast_block_sparse_attention,        # coalesced/grouped fast path
+        dispatch_block_sparse,              # kernel_mode dispatcher
+        KernelWorkspace,                    # reusable scratch arena
         BlockMask, causal_block_mask, ...   # block-level mask algebra
     )
 """
 
 from .blocksparse import BlockSparseResult, block_sparse_attention
 from .dense import DenseAttentionResult, attention_probs, dense_attention
+from .fastpath import (
+    KERNEL_MODES,
+    KernelWorkspace,
+    coalesce_runs,
+    dispatch_block_sparse,
+    fast_block_sparse_attention,
+    head_pattern_groups,
+)
 from .flash import flash_attention
 from .striped import (
     StripedAttentionResult,
@@ -40,6 +51,12 @@ __all__ = [
     "flash_attention",
     "BlockSparseResult",
     "block_sparse_attention",
+    "KERNEL_MODES",
+    "KernelWorkspace",
+    "coalesce_runs",
+    "dispatch_block_sparse",
+    "fast_block_sparse_attention",
+    "head_pattern_groups",
     "StripedAttentionResult",
     "striped_attention",
     "striped_element_counts",

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..errors import MaskError
 from .masks import BlockMask
-from .utils import NEG_INF, expand_kv, validate_qkv
+from .utils import NEG_INF, validate_qkv
 
 __all__ = ["BlockSparseResult", "block_sparse_attention"]
 
@@ -38,11 +38,17 @@ class BlockSparseResult:
     total_causal_blocks:
         Tiles a dense causal kernel would compute (per head); the ratio
         ``visited_blocks / total_causal_blocks`` is the achieved density.
+    stats:
+        Execution-path accounting (runs coalesced, head groups batched,
+        GEMM calls) reported by the fast path
+        (:func:`repro.attention.fastpath.fast_block_sparse_attention`);
+        ``None`` for the reference kernel.
     """
 
     output: np.ndarray
     visited_blocks: np.ndarray
     total_causal_blocks: int
+    stats: dict | None = None
 
     @property
     def density(self) -> float:
@@ -88,8 +94,11 @@ def block_sparse_attention(
     b = mask.block_size
     offset = s_k - s_q
 
-    kf = expand_kv(k, h // h_kv).astype(np.float32, copy=False)
-    vf = expand_kv(v, h // h_kv).astype(np.float32, copy=False)
+    # KV stay at H_kv heads; tile gathers map query heads to their KV head,
+    # so GQA never materialises the repeated O(H * S_k * d) expansion.
+    n_rep = h // h_kv
+    kf = k.astype(np.float32, copy=False)
+    vf = v.astype(np.float32, copy=False)
     qf = q.astype(np.float32, copy=False)
 
     out = np.zeros((h, s_q, d), dtype=np.float32)
@@ -112,8 +121,9 @@ def block_sparse_attention(
             if heads.size == 0:
                 continue
             k0, k1 = kj * b, min((kj + 1) * b, s_k)
+            kv_heads = heads // n_rep
             s = np.einsum(
-                "hqd,hkd->hqk", q_tile[heads], kf[heads, k0:k1], optimize=True
+                "hqd,hkd->hqk", q_tile[heads], kf[kv_heads, k0:k1], optimize=True
             ) * scale
 
             if k1 - 1 > q0 + offset:
@@ -123,10 +133,15 @@ def block_sparse_attention(
 
             m_new = np.maximum(m[heads], np.max(s, axis=-1))
             alpha = np.exp(m[heads] - m_new)
-            p = np.exp(s - m_new[..., None])
+            # Rows that have still seen no live entry (every score so far
+            # masked) keep m_new == NEG_INF; exponentiating against 0 there
+            # sends their probabilities to exp(NEG_INF) = 0 instead of the
+            # exp(NEG_INF - NEG_INF) = 1 a naive subtraction would produce.
+            m_base = np.where(m_new <= NEG_INF / 2, 0.0, m_new)
+            p = np.exp(s - m_base[..., None])
             l[heads] = l[heads] * alpha + np.sum(p, axis=-1)
             acc[heads] = acc[heads] * alpha[..., None] + np.einsum(
-                "hqk,hkd->hqd", p, vf[heads, k0:k1], optimize=True
+                "hqk,hkd->hqd", p, vf[kv_heads, k0:k1], optimize=True
             )
             m[heads] = m_new
             visited[heads] += 1

@@ -12,7 +12,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import MaskError
-from .utils import causal_mask, expand_kv, masked_row_softmax, validate_qkv
+from .utils import (
+    causal_mask,
+    grouped_pv,
+    grouped_qk,
+    masked_row_softmax,
+    validate_qkv,
+)
 
 __all__ = ["DenseAttentionResult", "dense_attention", "attention_probs"]
 
@@ -50,7 +56,7 @@ def dense_attention(
     ----------
     q, k, v:
         ``(H, S_q, d)`` / ``(H_kv, S_k, d)`` arrays; GQA is handled by
-        repeating KV heads.
+        grouped batched matmuls without repeating KV heads.
     causal:
         Apply the right-aligned causal mask.
     mask:
@@ -65,10 +71,9 @@ def dense_attention(
     h, h_kv, s_q, s_k, d = validate_qkv(q, k, v)
     if scale is None:
         scale = 1.0 / np.sqrt(d)
-    k_full = expand_kv(k, h // h_kv)
-    v_full = expand_kv(v, h // h_kv)
 
-    scores = np.einsum("hqd,hkd->hqk", q, k_full, optimize=True) * np.float32(scale)
+    # GQA handled by grouped batched matmul -- no repeated-KV copy.
+    scores = grouped_qk(q, k) * np.float32(scale)
 
     keep = causal_mask(s_q, s_k) if causal else np.ones((s_q, s_k), dtype=bool)
     if mask is not None:
@@ -84,7 +89,7 @@ def dense_attention(
             )
 
     probs = masked_row_softmax(scores, keep)
-    out = np.einsum("hqk,hkd->hqd", probs, v_full, optimize=True)
+    out = grouped_pv(probs, v)
     return DenseAttentionResult(
         output=out.astype(q.dtype, copy=False),
         probs=probs if return_probs else None,

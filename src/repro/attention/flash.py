@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigError
-from .utils import NEG_INF, expand_kv, validate_qkv
+from .utils import NEG_INF, grouped_pv, grouped_qk, validate_qkv
 
 __all__ = ["flash_attention"]
 
@@ -59,14 +59,13 @@ def flash_attention(
         scale = 1.0 / np.sqrt(d)
     scale = np.float32(scale)
 
-    k_full = expand_kv(k, h // h_kv)
-    v_full = expand_kv(v, h // h_kv)
     offset = s_k - s_q  # absolute position of query row 0
 
     out = np.zeros((h, s_q, d), dtype=np.float32)
     qf = q.astype(np.float32, copy=False)
-    kf = k_full.astype(np.float32, copy=False)
-    vf = v_full.astype(np.float32, copy=False)
+    # KV stay at H_kv heads; the grouped matmuls broadcast over GQA groups.
+    kf = k.astype(np.float32, copy=False)
+    vf = v.astype(np.float32, copy=False)
 
     for q0 in range(0, s_q, block_size):
         q1 = min(q0 + block_size, s_q)
@@ -82,9 +81,7 @@ def flash_attention(
 
         for k0 in range(0, k_end, block_size):
             k1 = min(k0 + block_size, k_end)
-            s = np.einsum(
-                "hqd,hkd->hqk", q_tile, kf[:, k0:k1], optimize=True
-            ) * scale  # (H, bq, bk)
+            s = grouped_qk(q_tile, kf[:, k0:k1]) * scale  # (H, bq, bk)
 
             if causal and k1 - 1 > q0 + offset:
                 # Tile straddles the diagonal: mask elementwise.
@@ -97,9 +94,7 @@ def flash_attention(
             alpha = np.exp(m - m_new)
             p = np.exp(s - m_new[..., None])
             l = l * alpha + np.sum(p, axis=-1)
-            acc = acc * alpha[..., None] + np.einsum(
-                "hqk,hkd->hqd", p, vf[:, k0:k1], optimize=True
-            )
+            acc = acc * alpha[..., None] + grouped_pv(p, vf[:, k0:k1])
             m = m_new
 
         safe_l = np.where(l == 0.0, 1.0, l)

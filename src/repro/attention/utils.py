@@ -27,6 +27,8 @@ __all__ = [
     "causal_mask",
     "validate_qkv",
     "expand_kv",
+    "grouped_qk",
+    "grouped_pv",
     "attention_scores",
     "masked_row_softmax",
 ]
@@ -108,6 +110,40 @@ def expand_kv(x: np.ndarray, n_rep: int) -> np.ndarray:
     )
 
 
+def grouped_qk(q: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Score GEMM ``q @ k^T`` without materialising repeated KV heads.
+
+    ``(H, S_q, d) x (H_kv, S_k, d) -> (H, S_q, S_k)``.  Under GQA the query
+    heads are viewed as ``(H_kv, n_rep, S_q, d)`` and ``k`` broadcasts as
+    ``(H_kv, 1, S_k, d)`` through one batched :func:`numpy.matmul`, so the
+    ``O(H * S_k * d)`` :func:`expand_kv` copy (and einsum path re-planning)
+    never happens.  Splitting the leading head axis is stride-preserving,
+    so views (e.g. query tiles) reshape without copying.
+    """
+    h, s_q, d = q.shape
+    h_kv, s_k = k.shape[0], k.shape[1]
+    if h == h_kv:
+        return np.matmul(q, k.transpose(0, 2, 1))
+    q4 = q.reshape(h_kv, h // h_kv, s_q, d)
+    s = np.matmul(q4, k[:, None].transpose(0, 1, 3, 2))
+    return s.reshape(h, s_q, s_k)
+
+
+def grouped_pv(p: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Output GEMM ``p @ v`` without materialising repeated KV heads.
+
+    ``(H, S_q, S_k) x (H_kv, S_k, d) -> (H, S_q, d)``; the GQA counterpart
+    of :func:`grouped_qk` for the probability-times-values contraction.
+    """
+    h, s_q, s_k = p.shape
+    h_kv, _, d = v.shape
+    if h == h_kv:
+        return np.matmul(p, v)
+    p4 = p.reshape(h_kv, h // h_kv, s_q, s_k)
+    out = np.matmul(p4, v[:, None])
+    return out.reshape(h, s_q, d)
+
+
 def attention_scores(
     q: np.ndarray, k: np.ndarray, scale: float | None = None
 ) -> np.ndarray:
@@ -118,8 +154,7 @@ def attention_scores(
     h, h_kv, _, _, d = validate_qkv(q, k, k)
     if scale is None:
         scale = 1.0 / np.sqrt(d)
-    k_full = expand_kv(k, h // h_kv)
-    return np.einsum("hqd,hkd->hqk", q, k_full, optimize=True) * np.float32(scale)
+    return grouped_qk(q, k) * np.float32(scale)
 
 
 def masked_row_softmax(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:

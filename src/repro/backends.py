@@ -16,11 +16,12 @@ import abc
 
 import numpy as np
 
-from .attention.blocksparse import block_sparse_attention
+from .attention.fastpath import KernelWorkspace, dispatch_block_sparse
 from .attention.flash import flash_attention
 from .attention.masks import BlockMask
-from .config import DEFAULT_CONFIG, SampleAttentionConfig
+from .config import DEFAULT_CONFIG, KERNEL_MODES, SampleAttentionConfig
 from .core.sample_attention import sample_attention
+from .errors import ConfigError
 
 __all__ = [
     "AttentionBackend",
@@ -89,13 +90,20 @@ class SampleAttentionBackend(AttentionBackend):
         selection_mode: str = "exact",
         reduction: str = "sum",
         record_plans: bool = False,
+        execution: str = "striped",
     ) -> None:
         super().__init__()
+        if execution not in ("striped", "block"):
+            raise ConfigError(
+                f"execution must be 'striped' or 'block', got {execution!r}"
+            )
         self.config = config
         self.selection_mode = selection_mode
         self.reduction = reduction
         self.record_plans = record_plans
         self.plans: list = []
+        self.execution = execution
+        self._workspace = KernelWorkspace() if execution == "block" else None
 
     def prefill(self, q, k, v, *, scale=None, layer=0):
         res = sample_attention(
@@ -106,6 +114,8 @@ class SampleAttentionBackend(AttentionBackend):
             scale=scale,
             selection_mode=self.selection_mode,
             reduction=self.reduction,
+            execution=self.execution,
+            workspace=self._workspace,
         )
         if self.record_plans:
             if layer == 0:
@@ -127,9 +137,23 @@ class MaskedAttentionBackend(AttentionBackend):
     Subclasses implement :meth:`build_mask`, which may inspect ``q``/``k``
     (content-aware baselines like HyperAttention hash the keys) or ignore
     them (static patterns like BigBird).
+
+    ``kernel_mode`` selects the block-sparse executor (one of
+    :data:`~repro.config.KERNEL_MODES`); the fast/parallel paths reuse a
+    per-backend :class:`~repro.attention.KernelWorkspace` so repeated layer
+    calls allocate O(1) scratch.
     """
 
     name = "masked"
+
+    def __init__(self, *, kernel_mode: str = "fast") -> None:
+        super().__init__()
+        if kernel_mode not in KERNEL_MODES:
+            raise ConfigError(
+                f"kernel_mode must be one of {KERNEL_MODES}, got {kernel_mode!r}"
+            )
+        self.kernel_mode = kernel_mode
+        self._workspace = KernelWorkspace()
 
     @abc.abstractmethod
     def build_mask(
@@ -139,7 +163,15 @@ class MaskedAttentionBackend(AttentionBackend):
 
     def prefill(self, q, k, v, *, scale=None, layer=0):
         mask = self.build_mask(q, k, layer=layer)
-        res = block_sparse_attention(q, k, v, mask, scale=scale)
+        res = dispatch_block_sparse(
+            q,
+            k,
+            v,
+            mask,
+            scale=scale,
+            kernel_mode=self.kernel_mode,
+            workspace=self._workspace,
+        )
         self._record(density=res.density)
         return res.output
 

@@ -20,7 +20,16 @@ from dataclasses import dataclass
 
 from .errors import ConfigError
 
-__all__ = ["SampleAttentionConfig", "DEFAULT_CONFIG"]
+__all__ = ["KERNEL_MODES", "SampleAttentionConfig", "DEFAULT_CONFIG"]
+
+#: How the block-sparse executor runs a tile mask.  ``"reference"`` is the
+#: tile-at-a-time kernel (:func:`repro.attention.block_sparse_attention`);
+#: ``"fast"`` is the coalesced-run / head-grouped / workspace-reusing path
+#: (:func:`repro.attention.fast_block_sparse_attention`); ``"parallel"``
+#: additionally fans query blocks across a thread pool (BLAS releases the
+#: GIL, so the GEMMs overlap).  Defined here rather than in
+#: :mod:`repro.attention` so config validation stays import-cycle free.
+KERNEL_MODES = ("reference", "fast", "parallel")
 
 
 def _check_unit_interval(name: str, value: float, *, open_left: bool = True) -> None:
@@ -61,6 +70,14 @@ class SampleAttentionConfig:
         When ``True`` (default) stage-1 stride sampling is anchored at the
         final row so the most recent queries (the user question during
         prefill) are always represented in the sampled score matrix.
+    kernel_mode:
+        Which block-sparse executor runs tile masks built from this config:
+        one of :data:`KERNEL_MODES`.  ``"fast"`` (default) coalesces
+        contiguous active tiles into runs, batches heads with identical
+        block-row patterns, and reuses a preallocated workspace;
+        ``"reference"`` is the tile-at-a-time seed kernel the fast path is
+        benchmarked against; ``"parallel"`` adds a thread pool over query
+        blocks.  Outputs agree to float32 tolerance in every mode.
     """
 
     alpha: float = 0.95
@@ -71,6 +88,7 @@ class SampleAttentionConfig:
     min_keep: int = 1
     dense_last_rows: int = 0
     sample_from_end: bool = True
+    kernel_mode: str = "fast"
 
     def __post_init__(self) -> None:
         _check_unit_interval("alpha", self.alpha)
@@ -87,6 +105,11 @@ class SampleAttentionConfig:
         if self.dense_last_rows < 0:
             raise ConfigError(
                 f"dense_last_rows must be >= 0, got {self.dense_last_rows!r}"
+            )
+        if self.kernel_mode not in KERNEL_MODES:
+            raise ConfigError(
+                f"kernel_mode must be one of {KERNEL_MODES}, "
+                f"got {self.kernel_mode!r}"
             )
 
     def window_size(self, seq_len: int) -> int:

@@ -18,7 +18,7 @@ from .diagonal import (
 )
 from .filtering import PAPER_PREFIX_RATIOS, FilterResult, select_kv_indices
 from .plan import SparsePlan
-from .profiler import ProfilingReport, profile_hyperparameters
+from .profiler import ProfilingReport, StageProfiler, profile_hyperparameters
 from .sample_attention import (
     SampleAttentionResult,
     plan_sample_attention,
@@ -33,6 +33,7 @@ __all__ = [
     "detect_diagonal_bands",
     "diagonal_profile",
     "ProfilingReport",
+    "StageProfiler",
     "profile_hyperparameters",
     "PAPER_PREFIX_RATIOS",
     "FilterResult",

@@ -10,11 +10,13 @@ merged structured mask -- and lets benchmarks time the two phases separately
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..attention.blocksparse import block_sparse_attention
+from ..attention.fastpath import KernelWorkspace, dispatch_block_sparse
 from ..attention.striped import StripedAttentionResult, striped_attention
 from ..attention.utils import validate_qkv
 from ..config import DEFAULT_CONFIG, SampleAttentionConfig
@@ -22,6 +24,9 @@ from ..errors import ConfigError
 from .filtering import select_kv_indices
 from .plan import SparsePlan
 from .sampling import sample_column_scores, sampled_row_indices
+
+if TYPE_CHECKING:  # import would cycle through repro.backends at runtime
+    from .profiler import StageProfiler
 
 __all__ = ["SampleAttentionResult", "plan_sample_attention", "sample_attention"]
 
@@ -54,6 +59,7 @@ def plan_sample_attention(
     selection_mode: str = "exact",
     reduction: str = "sum",
     detect_diagonals: bool = False,
+    profiler: "StageProfiler | None" = None,
 ) -> SparsePlan:
     """Run stages 1 and 2 and assemble the structured sparse plan.
 
@@ -72,20 +78,27 @@ def plan_sample_attention(
         Also run the Appendix-A.6 diagonal detector and attach the found
         distance bands to ``plan.extras["bands"]``; the striped executor
         covers them as extra bands parallel to the window.
+    profiler:
+        Optional :class:`~repro.core.profiler.StageProfiler`; stage 1 is
+        timed as ``"sample"``, stage 2 as ``"filter"``.
     """
     h, h_kv, s_q, s_k, d = validate_qkv(q, k, k)
 
     # Stage 1: query-guided attention sampling.
-    rows = sampled_row_indices(s_q, config.r_row, from_end=config.sample_from_end)
-    stats = sample_column_scores(q, k, rows, scale=scale, reduction=reduction)
+    with profiler.stage("sample") if profiler else nullcontext():
+        rows = sampled_row_indices(
+            s_q, config.r_row, from_end=config.sample_from_end
+        )
+        stats = sample_column_scores(q, k, rows, scale=scale, reduction=reduction)
 
     # Stage 2: score-based key-value filtering.
-    selection = select_kv_indices(
-        stats.column_scores,
-        config.alpha,
-        min_keep=config.min_keep,
-        mode=selection_mode,
-    )
+    with profiler.stage("filter") if profiler else nullcontext():
+        selection = select_kv_indices(
+            stats.column_scores,
+            config.alpha,
+            min_keep=config.min_keep,
+            mode=selection_mode,
+        )
 
     window = max(config.window_size(s_k), 1)
     extras: dict = {}
@@ -119,6 +132,9 @@ def sample_attention(
     selection_mode: str = "exact",
     reduction: str = "sum",
     execution: str = "striped",
+    kernel_mode: str | None = None,
+    workspace: KernelWorkspace | None = None,
+    profiler: "StageProfiler | None" = None,
 ) -> SampleAttentionResult:
     """Adaptive structured sparse attention (paper Algorithm 1).
 
@@ -134,6 +150,19 @@ def sample_attention(
         ``"block"`` rasterises the plan to a tile mask and runs the
         block-sparse kernel instead (ablation: how much a tile-aligned
         kernel loses to scattered stripes).
+    kernel_mode:
+        Block-sparse executor for ``execution="block"``: one of
+        :data:`~repro.config.KERNEL_MODES`.  Defaults to the plan config's
+        ``kernel_mode``.  Ignored by the striped executor.
+    workspace:
+        Optional :class:`~repro.attention.KernelWorkspace` reused across
+        calls by the fast/parallel block executors (O(1) allocations per
+        call once warm).  Ignored by ``"reference"`` and ``"striped"``.
+    profiler:
+        Optional :class:`~repro.core.profiler.StageProfiler`; planning is
+        timed as ``"sample"``/``"filter"`` and execution as ``"attend"``.
+        Fast-path execution statistics (``runs_coalesced``,
+        ``head_groups``) are accumulated into ``profiler.counts``.
 
     Examples
     --------
@@ -147,6 +176,8 @@ def sample_attention(
     >>> res.output.shape
     (2, 256, 16)
     """
+    if execution not in ("striped", "block"):
+        raise ConfigError(f"unknown execution mode {execution!r}")
     if plan is None:
         plan = plan_sample_attention(
             q,
@@ -155,31 +186,40 @@ def sample_attention(
             scale=scale,
             selection_mode=selection_mode,
             reduction=reduction,
+            profiler=profiler,
         )
-    if execution == "striped":
-        kernel = striped_attention(
-            q,
-            k,
-            v,
-            plan.window,
-            plan.kv_indices,
-            sink_tokens=plan.config.sink_tokens,
-            dense_last_rows=plan.config.dense_last_rows,
-            scale=scale,
-            block_size=plan.config.block_size,
-            bands=plan.extras.get("bands"),
-        )
-    elif execution == "block":
-        block = block_sparse_attention(
-            q, k, v, plan.to_block_mask(), scale=scale
-        )
-        # Normalise the block result into the striped accounting shape.
-        b2 = plan.config.block_size**2
-        kernel = StripedAttentionResult(
-            output=block.output,
-            computed_elements=block.visited_blocks * b2,
-            total_causal_elements=block.total_causal_blocks * b2,
-        )
-    else:
-        raise ConfigError(f"unknown execution mode {execution!r}")
+    with profiler.stage("attend") if profiler else nullcontext():
+        if execution == "striped":
+            kernel = striped_attention(
+                q,
+                k,
+                v,
+                plan.window,
+                plan.kv_indices,
+                sink_tokens=plan.config.sink_tokens,
+                dense_last_rows=plan.config.dense_last_rows,
+                scale=scale,
+                block_size=plan.config.block_size,
+                bands=plan.extras.get("bands"),
+            )
+        else:
+            block = dispatch_block_sparse(
+                q,
+                k,
+                v,
+                plan.to_block_mask(),
+                scale=scale,
+                kernel_mode=kernel_mode or plan.config.kernel_mode,
+                workspace=workspace,
+            )
+            if profiler is not None and block.stats is not None:
+                for key in ("runs_coalesced", "head_groups", "gemm_calls"):
+                    profiler.count(key, block.stats[key])
+            # Normalise the block result into the striped accounting shape.
+            b2 = plan.config.block_size**2
+            kernel = StripedAttentionResult(
+                output=block.output,
+                computed_elements=block.visited_blocks * b2,
+                total_causal_elements=block.total_causal_blocks * b2,
+            )
     return SampleAttentionResult(output=kernel.output, plan=plan, kernel=kernel)

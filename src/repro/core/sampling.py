@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..attention.utils import NEG_INF, expand_kv, validate_qkv
+from ..attention.utils import NEG_INF, grouped_qk, validate_qkv
 from ..errors import ConfigError
 
 __all__ = [
@@ -121,7 +121,7 @@ def sample_column_scores(
             f"min={row_indices.min()}, max={row_indices.max()}"
         )
 
-    k_full = expand_kv(k, h // h_kv).astype(np.float32, copy=False)
+    kf = k.astype(np.float32, copy=False)  # stays at H_kv heads (no expand)
     qf = q.astype(np.float32, copy=False)
     offset = s_k - s_q
     col_pos = np.arange(s_k, dtype=np.int64)
@@ -132,7 +132,7 @@ def sample_column_scores(
     for c0 in range(0, row_indices.size, chunk):
         rows = row_indices[c0 : c0 + chunk]
         q_rows = qf[:, rows]  # (H, c, d)
-        s = np.einsum("hcd,hkd->hck", q_rows, k_full, optimize=True) * scale
+        s = grouped_qk(q_rows, kf) * scale
         if causal:
             visible = col_pos[None, :] <= (rows + offset)[:, None]  # (c, S_k)
             s = np.where(visible[None], s, NEG_INF)

@@ -37,6 +37,7 @@ from ..tasks import (
     make_needle_case,
     needle_grid,
 )
+from .bench import run_bench as _run_bench
 from .methods import METHOD_NAMES, make_backend
 from .tables import Table
 
@@ -837,7 +838,29 @@ def run_serve(scale="quick", seed: int = 0) -> list[Table]:
             tm.plan_misses,
             tm.outcome,
         )
-    return [t1, t2]
+
+    stage_notes = (
+        "sample/filter = stage-1/2 planning (amortised by the plan "
+        "cache), attend = sparse kernel execution, dense = fallback chunks"
+    )
+    if sample_result.stages["counts"]:
+        stage_notes += "; kernel counters: " + ", ".join(
+            f"{k}={int(v)}"
+            for k, v in sorted(sample_result.stages["counts"].items())
+        )
+    t3 = Table(
+        "Where chunk time goes (method=sample, stage profiler)",
+        ["stage", "seconds", "share", "calls"],
+        notes=stage_notes,
+    )
+    for name, rec in sample_result.stages["stages"].items():
+        t3.add_row(
+            name,
+            round(rec["seconds"], 4),
+            f"{rec['share']:.1%}",
+            rec["calls"],
+        )
+    return [t1, t2, t3]
 
 
 def run_chaos(scale="quick", seed: int = 0) -> list[Table]:
@@ -997,6 +1020,7 @@ EXPERIMENTS = {
     "serving": (run_serving, "Queueing/TTFT under a request stream (simulator)"),
     "serve": (run_serve, "Executed serving engine vs simulator prediction"),
     "chaos": (run_chaos, "Fault-injection drill: engine recovery under chaos"),
+    "bench": (_run_bench, "Kernel bench: execution paths + BENCH_kernel.json"),
 }
 
 

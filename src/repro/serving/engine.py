@@ -48,8 +48,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..attention.fastpath import KernelWorkspace
 from ..attention.flash import flash_attention
-from ..config import DEFAULT_CONFIG, SampleAttentionConfig
+from ..config import DEFAULT_CONFIG, KERNEL_MODES, SampleAttentionConfig
+from ..core.profiler import StageProfiler
 from ..core.sample_attention import plan_sample_attention, sample_attention
 from ..errors import ConfigError, FaultInjectionError, ReproError
 from ..model.kv_cache import LayerKVCache
@@ -170,10 +172,17 @@ class EngineResult:
         request's timeline plus engine-wide counters.
     method:
         Prefill method the engine executed (``"sample"`` or ``"flash"``).
+    stages:
+        :meth:`~repro.core.profiler.StageProfiler.report` snapshot of where
+        chunk time went (``sample`` / ``filter`` / ``attend`` / ``dense`` /
+        ``decode`` wall-clock plus kernel counters).  Wall-clock stage
+        timings live here -- not in the deterministic telemetry summary --
+        so same-seed runs still compare equal under roofline billing.
     """
 
     telemetry: MetricsRegistry
     method: str
+    stages: dict = field(default_factory=dict)
 
     @property
     def requests(self) -> list[RequestTelemetry]:
@@ -256,6 +265,16 @@ class ServingEngine:
         (:data:`DEGRADATION_LEVELS`).
     breaker_threshold, breaker_cooldown_chunks:
         Engine-wide :class:`CircuitBreaker` policy over sparse planning.
+    execution:
+        Sparse executor for ``method="sample"``: ``"striped"`` (default,
+        the paper's gathered-KV kernel) or ``"block"`` (rasterise plans to
+        tile masks and run the block-sparse kernel selected by
+        ``kernel_mode``).
+    kernel_mode:
+        Block-sparse executor for ``execution="block"``: one of
+        :data:`~repro.config.KERNEL_MODES`, defaulting to the config's
+        ``kernel_mode``.  The fast/parallel paths reuse one engine-owned
+        :class:`~repro.attention.KernelWorkspace` across chunks.
     """
 
     def __init__(
@@ -283,6 +302,8 @@ class ServingEngine:
         degrade_after: int = 2,
         breaker_threshold: int = 4,
         breaker_cooldown_chunks: int = 8,
+        execution: str = "striped",
+        kernel_mode: str | None = None,
     ) -> None:
         if method not in ENGINE_METHODS:
             raise ConfigError(
@@ -317,6 +338,14 @@ class ServingEngine:
             )
         if degrade_after < 1:
             raise ConfigError(f"degrade_after must be >= 1, got {degrade_after}")
+        if execution not in ("striped", "block"):
+            raise ConfigError(
+                f"execution must be 'striped' or 'block', got {execution!r}"
+            )
+        if kernel_mode is not None and kernel_mode not in KERNEL_MODES:
+            raise ConfigError(
+                f"kernel_mode must be one of {KERNEL_MODES}, got {kernel_mode!r}"
+            )
         self.model = model
         self.method = method
         self.config = config
@@ -339,6 +368,10 @@ class ServingEngine:
         self.retry_backoff_s = retry_backoff_s
         self.degrade_after = degrade_after
         self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_chunks)
+        self.execution = execution
+        self.kernel_mode = kernel_mode
+        self._workspace = KernelWorkspace() if execution == "block" else None
+        self._profiler = StageProfiler()
         # The "widened" ladder rung: double the window and the stage-1
         # sample, quadruple the stripe floor -- cheaper than dense, far more
         # conservative than the tuned plan (the paper's knobs all moved
@@ -429,7 +462,10 @@ class ServingEngine:
             # Right-aligned causal chunk: rows attend to the full prefix.
             offset = s_k - s_q
             job.elements += h * (s_q * offset + s_q * (s_q + 1) / 2.0)
-            return flash_attention(q, keys, values, causal=True, scale=scale)
+            with self._profiler.stage("dense"):
+                return flash_attention(
+                    q, keys, values, causal=True, scale=scale
+                )
 
         def violation(reason: str) -> None:
             # One runtime CRA-guard trip: the plan in hand must not execute.
@@ -468,7 +504,9 @@ class ServingEngine:
                 rid, i, chunk_index=chunk_index, s_q=s_q, s_k=s_k
             )
             if plan is None:
-                plan = plan_sample_attention(q, keys, cfg, scale=scale)
+                plan = plan_sample_attention(
+                    q, keys, cfg, scale=scale, profiler=self._profiler
+                )
                 self.plan_cache.put(rid, i, plan, chunk_index=chunk_index)
                 tm.plan_misses += 1
                 registry.inc("plan_cache_misses")
@@ -489,7 +527,16 @@ class ServingEngine:
                 return dense(q, keys, values, scale, s_q, s_k, h)
             try:
                 res = sample_attention(
-                    q, keys, values, cfg, scale=scale, plan=plan
+                    q,
+                    keys,
+                    values,
+                    cfg,
+                    scale=scale,
+                    plan=plan,
+                    execution=self.execution,
+                    kernel_mode=self.kernel_mode,
+                    workspace=self._workspace,
+                    profiler=self._profiler,
                 )
             except FaultInjectionError:
                 raise  # transient: the chunk retry loop owns recovery
@@ -612,6 +659,12 @@ class ServingEngine:
         """Execute ``steps`` greedy decode tokens; returns virtual seconds."""
         h_kv = self.model.config.n_kv_heads
         t0 = time.perf_counter()
+        with self._profiler.stage("decode"):
+            self._decode_steps(job, steps, h_kv)
+        wall = time.perf_counter() - t0
+        return self._bill(job, wall)
+
+    def _decode_steps(self, job: _Job, steps: int, h_kv: int) -> None:
         for _ in range(steps):
             assert job.next_token is not None
             job.generated.append(job.next_token)
@@ -624,14 +677,13 @@ class ServingEngine:
             job.next_token = int(np.argmax(logits))
             job.position += 1
             job.decode_left -= 1
-        wall = time.perf_counter() - t0
-        return self._bill(job, wall)
 
     # --------------------------------------------------------------- runner
     def run(self, requests: list[Request]) -> EngineResult:
         """Serve the stream; every request ends completed/rejected/shed."""
         registry = MetricsRegistry()
         self._registry = registry
+        self._profiler = StageProfiler()  # fresh stage breakdown per run
         pending = sorted(requests, key=lambda r: (r.arrival, r.request_id))
         queue: AdmissionQueue[_Job] = AdmissionQueue(
             self.max_queue, self.admission_policy
@@ -733,4 +785,12 @@ class ServingEngine:
         registry.inc("plan_cache_invalid", float(stats.invalid))
         registry.inc("plan_cache_evictions", float(stats.evictions))
         registry.inc("plan_cache_poisoned", float(stats.poisoned))
-        return EngineResult(telemetry=registry, method=self.method)
+        # Kernel execution-path counts are deterministic (unlike timings),
+        # so they may join the counters the seeded drills compare.
+        for name, value in self._profiler.counts.items():
+            registry.inc(f"kernel_{name}", value)
+        return EngineResult(
+            telemetry=registry,
+            method=self.method,
+            stages=self._profiler.report(),
+        )

@@ -1,0 +1,100 @@
+"""StageProfiler: timing accumulation and pipeline integration."""
+
+import numpy as np
+import pytest
+
+from repro.config import SampleAttentionConfig
+from repro.core import (
+    StageProfiler,
+    plan_sample_attention,
+    sample_attention,
+)
+from repro.errors import ConfigError
+
+
+def _qkv(seed=0, h=4, h_kv=2, s=192, d=16):
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((h, s, d), dtype=np.float32)
+    k = rng.standard_normal((h_kv, s, d), dtype=np.float32)
+    v = rng.standard_normal((h_kv, s, d), dtype=np.float32)
+    return q, k, v
+
+
+class TestStageProfiler:
+    def test_stage_accumulates_time_and_calls(self):
+        prof = StageProfiler()
+        for _ in range(3):
+            with prof.stage("work"):
+                pass
+        assert prof.calls["work"] == 3
+        assert prof.timings["work"] >= 0.0
+
+    def test_counts_and_merge(self):
+        a, b = StageProfiler(), StageProfiler()
+        a.count("tiles", 5)
+        b.count("tiles", 7)
+        with b.stage("attend"):
+            pass
+        a.merge(b)
+        assert a.counts["tiles"] == 12.0
+        assert a.calls["attend"] == 1
+
+    def test_report_shares_sum_to_one(self):
+        prof = StageProfiler()
+        with prof.stage("x"):
+            sum(range(1000))
+        with prof.stage("y"):
+            sum(range(1000))
+        report = prof.report()
+        shares = [s["share"] for s in report["stages"].values()]
+        assert abs(sum(shares) - 1.0) < 1e-9
+        assert report["total_seconds"] == pytest.approx(prof.total_time())
+
+    def test_empty_report(self):
+        report = StageProfiler().report()
+        assert report["total_seconds"] == 0.0
+        assert report["stages"] == {}
+        assert report["counts"] == {}
+
+
+class TestPipelineIntegration:
+    def test_plan_records_sample_and_filter(self):
+        q, k, _ = _qkv()
+        prof = StageProfiler()
+        plan_sample_attention(q, k, SampleAttentionConfig(), profiler=prof)
+        assert set(prof.timings) == {"sample", "filter"}
+
+    def test_block_execution_records_attend_and_counts(self):
+        q, k, v = _qkv()
+        prof = StageProfiler()
+        res = sample_attention(
+            q, k, v, SampleAttentionConfig(), execution="block", profiler=prof
+        )
+        assert res.output.shape == q.shape
+        assert {"sample", "filter", "attend"} <= set(prof.timings)
+        assert prof.counts["runs_coalesced"] >= 1
+        assert prof.counts["head_groups"] >= 1
+
+    def test_striped_execution_records_attend_without_counts(self):
+        q, k, v = _qkv()
+        prof = StageProfiler()
+        sample_attention(q, k, v, SampleAttentionConfig(), profiler=prof)
+        assert "attend" in prof.timings
+        assert prof.counts == {}
+
+    def test_kernel_modes_agree_through_sample_attention(self):
+        q, k, v = _qkv(seed=2)
+        cfg = SampleAttentionConfig()
+        fast = sample_attention(q, k, v, cfg, execution="block")
+        ref = sample_attention(
+            q, k, v, cfg, execution="block", kernel_mode="reference"
+        )
+        np.testing.assert_allclose(fast.output, ref.output, atol=2e-5)
+        np.testing.assert_array_equal(
+            fast.kernel.computed_elements, ref.kernel.computed_elements
+        )
+
+    def test_unknown_execution_raises(self):
+        q, k, v = _qkv()
+        with pytest.raises(ConfigError):
+            sample_attention(q, k, v, execution="warp")

@@ -1,0 +1,112 @@
+"""Kernel benchmark harness: JSON schema, regression tracking, gates."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.bench import (
+    KernelBenchCase,
+    kernel_bench_cases,
+    run_kernel_bench,
+)
+from repro.harness.experiments import EXPERIMENTS
+
+TINY = [KernelBenchCase("s128_a95_w5", 128, 0.95, 0.05, block_size=32)]
+
+
+def test_registered_experiment():
+    assert "bench" in EXPERIMENTS
+
+
+def test_case_grids():
+    quick = kernel_bench_cases("quick")
+    full = kernel_bench_cases("full")
+    assert len(full) > len(quick)
+    # The acceptance workload: 4k tokens at paper-default sparsity.
+    assert any(
+        c.seq_len == 4096 and c.alpha == 0.95 and c.r_window == 0.01
+        for c in quick
+    )
+
+
+def test_report_schema_and_regression_tracking(tmp_path):
+    out = tmp_path / "BENCH_kernel.json"
+    report = run_kernel_bench(
+        "quick", seed=0, out_path=out, enforce=False, reps=1, cases=TINY
+    )
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "sampleattn-kernel-bench/v1"
+    (case,) = report["cases"]
+    assert case["previous_fast_seconds"] is None
+    for key in ("flash", "reference", "fast"):
+        assert case["seconds"][key] > 0.0
+    assert case["max_abs_err_fast_vs_reference"] <= report["tolerance"]
+    assert case["speedup_fast_vs_reference"] > 0.0
+    assert case["roofline_speedup_vs_dense"] >= 1.0
+    assert case["fast_stats"]["runs_coalesced"] >= 1
+
+    # Second run sees the first run's timings as the previous trajectory.
+    report2 = run_kernel_bench(
+        "quick", seed=0, out_path=out, enforce=False, reps=1, cases=TINY
+    )
+    (case2,) = report2["cases"]
+    assert case2["previous_fast_seconds"] == pytest.approx(
+        case["seconds"]["fast"]
+    )
+    assert case2["regression_vs_previous"] is not None
+
+
+def test_numeric_divergence_fails(tmp_path, monkeypatch):
+    import repro.harness.bench as bench_mod
+
+    real = bench_mod.fast_block_sparse_attention
+
+    def corrupted(q, k, v, mask, **kw):
+        res = real(q, k, v, mask, **kw)
+        bad = res.output.copy()
+        bad[0, 0, 0] += 1.0
+        return type(res)(
+            output=bad,
+            visited_blocks=res.visited_blocks,
+            total_causal_blocks=res.total_causal_blocks,
+            stats=res.stats,
+        )
+
+    monkeypatch.setattr(bench_mod, "fast_block_sparse_attention", corrupted)
+    with pytest.raises(ReproError, match="diverges"):
+        run_kernel_bench(
+            "quick", seed=0, out_path=tmp_path / "b.json", reps=1, cases=TINY
+        )
+
+
+def test_enforce_flags_slow_fast_path(tmp_path, monkeypatch):
+    import repro.harness.bench as bench_mod
+
+    # _bench_case times flash, reference, fast, dense in that order.
+    faked = iter([0.001, 0.001, 0.002, 0.1])
+
+    def fake_time(fn, reps):
+        fn()
+        return next(faked)
+
+    monkeypatch.setattr(bench_mod, "_time_best", fake_time)
+    with pytest.raises(ReproError, match="slower than reference"):
+        run_kernel_bench(
+            "quick",
+            seed=0,
+            out_path=tmp_path / "b.json",
+            enforce=True,
+            reps=1,
+            cases=TINY,
+        )
+
+
+def test_env_overrides(tmp_path, monkeypatch):
+    out = tmp_path / "env_out.json"
+    monkeypatch.setenv("SAMPLEATTN_BENCH_OUT", str(out))
+    monkeypatch.setenv("SAMPLEATTN_BENCH_ENFORCE", "")
+    report = run_kernel_bench("quick", seed=0, reps=1, cases=TINY)
+    assert out.exists()
+    assert report["enforced"] is False

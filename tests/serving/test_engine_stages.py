@@ -1,0 +1,108 @@
+"""Engine stage profiling and the block-sparse execution path."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.engine import ServingEngine
+from repro.serving.simulator import Request
+
+
+def _requests(n=2, prompt_len=1024, decode=4):
+    return [
+        Request(
+            request_id=i, arrival=0.0, prompt_len=prompt_len,
+            decode_tokens=decode,
+        )
+        for i in range(n)
+    ]
+
+
+class TestStageTelemetry:
+    def test_sample_run_reports_stage_breakdown(self, glm_mini):
+        engine = ServingEngine(
+            glm_mini, method="sample", billing="roofline", length_scale=4
+        )
+        res = engine.run(_requests())
+        stages = res.stages["stages"]
+        assert {"sample", "filter", "attend"} <= set(stages)
+        assert all(rec["seconds"] >= 0.0 for rec in stages.values())
+        assert res.stages["total_seconds"] == pytest.approx(
+            sum(rec["seconds"] for rec in stages.values())
+        )
+
+    def test_flash_run_reports_dense_stage(self, glm_mini):
+        engine = ServingEngine(
+            glm_mini, method="flash", billing="roofline", length_scale=4
+        )
+        res = engine.run(_requests())
+        assert "dense" in res.stages["stages"]
+        assert "sample" not in res.stages["stages"]
+
+    def test_profiler_resets_between_runs(self, glm_mini):
+        engine = ServingEngine(
+            glm_mini, method="sample", billing="roofline", length_scale=4
+        )
+        first = engine.run(_requests())
+        second = engine.run(_requests())
+        a = first.stages["stages"]["attend"]["calls"]
+        assert second.stages["stages"]["attend"]["calls"] == a
+
+
+class TestBlockExecution:
+    def test_block_execution_completes_with_kernel_counters(self, glm_mini):
+        engine = ServingEngine(
+            glm_mini,
+            method="sample",
+            billing="roofline",
+            length_scale=4,
+            execution="block",
+        )
+        res = engine.run(_requests())
+        assert all(tm.outcome == "completed" for tm in res.requests)
+        assert res.telemetry.counter("kernel_runs_coalesced") >= 1
+        assert res.telemetry.counter("kernel_head_groups") >= 1
+        assert res.stages["counts"]["runs_coalesced"] >= 1
+
+    def test_block_summary_deterministic_under_roofline(self, glm_mini):
+        def run_once():
+            engine = ServingEngine(
+                glm_mini,
+                method="sample",
+                billing="roofline",
+                length_scale=4,
+                execution="block",
+                kernel_mode="fast",
+            )
+            return engine.run(_requests())
+
+        assert run_once().summary() == run_once().summary()
+
+    def test_block_matches_striped_token_outputs(self, glm_mini):
+        def generated(**kw):
+            engine = ServingEngine(
+                glm_mini, method="sample", billing="roofline",
+                length_scale=4, **kw,
+            )
+            res = engine.run(_requests(n=1))
+            return [tm.generated for tm in res.completed]
+
+        # Same plans, different executors: near-identical attention means
+        # identical greedy decode paths on the substrate.
+        assert generated(execution="block") == generated()
+
+    def test_invalid_execution_and_kernel_mode(self, glm_mini):
+        with pytest.raises(ConfigError):
+            ServingEngine(glm_mini, execution="warp")
+        with pytest.raises(ConfigError):
+            ServingEngine(glm_mini, kernel_mode="turbo")
+
+
+class TestCountersStayOutOfSummary:
+    def test_summary_keys_fixed(self, glm_mini):
+        engine = ServingEngine(
+            glm_mini, method="sample", billing="roofline",
+            length_scale=4, execution="block",
+        )
+        res = engine.run(_requests())
+        assert not any(k.startswith("kernel_") for k in res.summary())
+        assert not any("seconds" in k for k in res.stages["counts"])
