@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.tasks",
     "repro.serving",
     "repro.harness",
+    "repro.audit",
 ]
 
 

@@ -45,6 +45,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..audit import contracts
 from ..config import KERNEL_MODES
 from ..errors import ConfigError, MaskError
 from .blocksparse import BlockSparseResult, _total_causal_blocks, block_sparse_attention
@@ -411,6 +412,8 @@ def fast_block_sparse_attention(
         "mode": "parallel" if num_threads > 1 else "fast",
         "threads": int(num_threads),
     }
+    if contracts.enabled():
+        contracts.check_no_alias(out, ws, q, k, v)
     return BlockSparseResult(
         output=out.astype(q.dtype, copy=False),
         visited_blocks=visited,

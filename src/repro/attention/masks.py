@@ -188,10 +188,13 @@ def window_block_mask(
     n_heads: int, s_q: int, s_k: int, block_size: int, window: int
 ) -> BlockMask:
     """Causal local-window tiles: query position ``p`` sees keys in
-    ``[p - window + 1, p]``.  ``window`` is in tokens; tiles partially inside
-    the band are included whole (a kernel computes full tiles)."""
-    if window < 0:
-        raise MaskError(f"window must be >= 0, got {window}")
+    ``[p - window + 1, p]``.  ``window`` is in tokens and must be ``>= 1``
+    (the same invariant :meth:`repro.core.SparsePlan.validate` enforces; a
+    zero-width band would leave every row empty, which no kernel here
+    supports).  Tiles partially inside the band are included whole (a kernel
+    computes full tiles)."""
+    if window < 1:
+        raise MaskError(f"window must be >= 1, got {window}")
     nq, nk = _grid(n_heads, s_q, s_k, block_size)
     offset = s_k - s_q
     q_first = np.arange(nq) * block_size + offset
@@ -202,7 +205,7 @@ def window_block_mask(
     # intersects the tile's key range, i.e. k_first <= q_last and
     # k_last >= q_first - window + 1.
     grid = (k_first[None, :] <= q_last[:, None]) & (
-        k_last[None, :] >= q_first[:, None] - max(window - 1, 0)
+        k_last[None, :] >= q_first[:, None] - (window - 1)
     )
     blocks = np.broadcast_to(grid, (n_heads, nq, nk)).copy()
     return BlockMask(blocks, block_size, s_q, s_k)

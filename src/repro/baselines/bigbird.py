@@ -73,7 +73,7 @@ class BigBirdBackend(MaskedAttentionBackend):
     def build_mask(self, q: np.ndarray, k: np.ndarray, *, layer: int = 0) -> BlockMask:
         h, s_q = q.shape[0], q.shape[1]
         s_k = k.shape[1]
-        window = int(np.ceil(self.window_ratio * s_k))
+        window = max(1, int(np.ceil(self.window_ratio * s_k)))
         n_global = int(np.ceil(self.global_ratio * s_k))
         mask = window_block_mask(h, s_q, s_k, self.block_size, window)
         mask = mask | global_block_mask(h, s_q, s_k, self.block_size, n_global)

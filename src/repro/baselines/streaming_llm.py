@@ -52,7 +52,7 @@ class StreamingLLMBackend(MaskedAttentionBackend):
     def build_mask(self, q: np.ndarray, k: np.ndarray, *, layer: int = 0) -> BlockMask:
         h, s_q = q.shape[0], q.shape[1]
         s_k = k.shape[1]
-        window = int(np.ceil(self.window_ratio * s_k))
+        window = max(1, int(np.ceil(self.window_ratio * s_k)))
         mask = window_block_mask(h, s_q, s_k, self.block_size, window)
         if self.sink_tokens > 0:
             mask = mask | sink_block_mask(h, s_q, s_k, self.block_size, self.sink_tokens)

@@ -113,10 +113,17 @@ class SampleAttentionConfig:
             )
 
     def window_size(self, seq_len: int) -> int:
-        """Concrete window width ``ceil(r_window * seq_len)`` for a request."""
+        """Concrete window width ``ceil(r_window * seq_len)`` for a request,
+        clamped to ``>= 1`` for non-empty sequences: every consumer of the
+        window (:func:`repro.attention.window_block_mask`,
+        :meth:`repro.core.SparsePlan.validate`) requires a band at least one
+        token wide, so ``r_window = 0`` means "diagonal only", not "no
+        window"."""
         if seq_len < 0:
             raise ConfigError(f"seq_len must be >= 0, got {seq_len!r}")
-        return int(math.ceil(self.r_window * seq_len))
+        if seq_len == 0:
+            return 0
+        return max(1, int(math.ceil(self.r_window * seq_len)))
 
     def num_sampled_rows(self, seq_len: int) -> int:
         """Number of query rows stage 1 samples, at least one."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..audit import contracts
 from ..errors import ConfigError
 
 __all__ = [
@@ -151,6 +152,8 @@ def select_kv_indices(
         kv_indices.append(idx)
 
     kv_ratio = np.array([len(ix) / max(s_k, 1) for ix in kv_indices])
+    if contracts.enabled():
+        contracts.check_selection(kv_indices, achieved, alpha, s_k)
     return FilterResult(
         kv_indices=kv_indices,
         kv_ratio=kv_ratio,

@@ -23,6 +23,7 @@ from ..attention.masks import (
     window_block_mask,
 )
 from ..attention.striped import striped_element_counts
+from ..audit import contracts
 from ..config import SampleAttentionConfig
 from ..errors import ConfigError
 
@@ -186,6 +187,8 @@ class SparsePlan:
             mask = mask | dense_rows_block_mask(
                 h, self.s_q, self.s_k, b, self.config.dense_last_rows
             )
+        if contracts.enabled():
+            contracts.check_merged_mask(self, mask)
         return mask
 
     def summary(self) -> dict:

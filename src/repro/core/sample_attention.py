@@ -19,6 +19,7 @@ import numpy as np
 from ..attention.fastpath import KernelWorkspace, dispatch_block_sparse
 from ..attention.striped import StripedAttentionResult, striped_attention
 from ..attention.utils import validate_qkv
+from ..audit import contracts
 from ..config import DEFAULT_CONFIG, SampleAttentionConfig
 from ..errors import ConfigError
 from .filtering import select_kv_indices
@@ -108,7 +109,7 @@ def plan_sample_attention(
         extras["bands"] = detect_diagonal_bands(
             q, k, window=window, r_row=config.r_row, scale=scale
         )
-    return SparsePlan(
+    plan = SparsePlan(
         kv_indices=selection.kv_indices,
         window=window,
         kv_ratio=selection.kv_ratio,
@@ -119,6 +120,9 @@ def plan_sample_attention(
         s_k=s_k,
         extras=extras,
     )
+    if contracts.enabled():
+        contracts.check_plan(plan)
+    return plan
 
 
 def sample_attention(

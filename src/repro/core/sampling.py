@@ -61,6 +61,12 @@ def sampled_row_indices(
     user's actual question -- are always represented.  ``from_end=False``
     anchors at row 0, matching a plain ``arr[::stride]`` slice.
 
+    The grid uses a renormalised fractional stride ``s_q / n`` (one index per
+    stratum ``[floor(j*s_q/n), floor((j+1)*s_q/n))``), so every region of the
+    sequence is reachable even when ``s_q % n != 0`` -- a truncated integer
+    stride would leave the ``s_q - n*(s_q//n)`` rows farthest from the anchor
+    permanently unsampled.
+
     Always returns at least one index for non-empty inputs.
     """
     if not 0.0 < r_row <= 1.0:
@@ -68,11 +74,11 @@ def sampled_row_indices(
     if s_q <= 0:
         return np.empty(0, dtype=np.int64)
     n = max(1, int(np.ceil(r_row * s_q)))
-    stride = max(1, s_q // n)
+    offsets = (np.arange(n, dtype=np.int64) * s_q) // n
     if from_end:
-        idx = np.arange(s_q - 1, -1, -stride, dtype=np.int64)[:n][::-1]
+        idx = (s_q - 1 - offsets)[::-1]
     else:
-        idx = np.arange(0, s_q, stride, dtype=np.int64)[:n]
+        idx = offsets
     return np.ascontiguousarray(idx)
 
 

@@ -18,6 +18,7 @@ __all__ = [
     "ProfilingError",
     "FaultInjectionError",
     "DeadlineExceededError",
+    "ContractViolation",
 ]
 
 
@@ -60,3 +61,12 @@ class FaultInjectionError(ReproError, RuntimeError):
 
 class DeadlineExceededError(ReproError, TimeoutError):
     """A request exceeded its per-request deadline on the virtual clock."""
+
+
+class ContractViolation(ReproError, AssertionError):
+    """A runtime invariant contract (:mod:`repro.audit.contracts`) failed.
+
+    Only raised when contracts are explicitly enabled (opt-in via
+    ``SAMPLEATTN_CONTRACTS=1`` or :func:`repro.audit.contracts.enable`);
+    production paths never pay for or raise these checks by default.
+    """

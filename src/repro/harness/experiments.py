@@ -38,6 +38,14 @@ from ..tasks import (
     needle_grid,
 )
 from .bench import run_bench as _run_bench
+
+
+def _run_audit(scale="quick", seed: int = 0):
+    # Imported lazily: repro.audit.campaign renders through harness tables,
+    # so a module-level import would cycle back into this module.
+    from ..audit.campaign import run_audit_experiment
+
+    return run_audit_experiment(scale=scale, seed=seed)
 from .methods import METHOD_NAMES, make_backend
 from .tables import Table
 
@@ -1021,6 +1029,7 @@ EXPERIMENTS = {
     "serve": (run_serve, "Executed serving engine vs simulator prediction"),
     "chaos": (run_chaos, "Fault-injection drill: engine recovery under chaos"),
     "bench": (_run_bench, "Kernel bench: execution paths + BENCH_kernel.json"),
+    "audit": (_run_audit, "Differential audit: geometry fuzz + AUDIT.json"),
 }
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..audit import contracts
 from ..errors import ConfigError
 
 __all__ = ["OUTCOMES", "TERMINAL_OUTCOMES", "RequestTelemetry", "MetricsRegistry"]
@@ -169,6 +170,8 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------ primitives
     def inc(self, name: str, value: float = 1.0) -> None:
+        if contracts.enabled():
+            contracts.check_counter_increment(name, value)
         self._counters[name] = self._counters.get(name, 0.0) + value
 
     def counter(self, name: str) -> float:

@@ -80,10 +80,23 @@ class TestWindowBlockMask:
         dense = m.to_dense()[0]
         assert not dense[255, 0]
 
-    def test_zero_window_keeps_diagonal_blocks(self):
-        m = window_block_mask(1, 64, 64, 32, window=0)
-        assert m.blocks[0, 0, 0]
-        assert m.blocks[0, 1, 1]
+    def test_rejects_zero_window(self):
+        # Regression: window=0 used to silently behave as window=1 via a
+        # max(window - 1, 0) clamp, contradicting the docstring band
+        # [p-w+1, p] and the SparsePlan.validate invariant window >= 1.
+        with pytest.raises(MaskError):
+            window_block_mask(1, 64, 64, 32, window=0)
+
+    def test_window_one_is_exactly_diagonal_band(self):
+        m = window_block_mask(1, 64, 64, 32, window=1)
+        dense = m.to_dense()[0]
+        rows = np.arange(64)[:, None]
+        cols = np.arange(64)[None, :]
+        band = (cols <= rows) & (cols > rows - 1)
+        assert np.all(dense[band])
+        # Tile granularity: only diagonal tiles are active.
+        assert m.blocks[0, 0, 0] and m.blocks[0, 1, 1]
+        assert not m.blocks[0, 1, 0]
 
     def test_rejects_negative(self):
         with pytest.raises(MaskError):

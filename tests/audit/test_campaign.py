@@ -1,0 +1,195 @@
+"""Tests for the audit campaign runner and its AUDIT.json report."""
+
+import json
+
+import pytest
+
+import repro.audit.campaign as campaign
+from repro.audit import contracts
+from repro.audit.campaign import AUDIT_SCHEMA, run_audit, run_audit_experiment
+from repro.audit.geometry import AUDIT_AREAS, CaseResult
+from repro.errors import ReproError
+from repro.harness.tables import Table
+
+
+@pytest.fixture(autouse=True)
+def _contracts_off_after():
+    yield
+    contracts.disable()
+
+
+class TestPassingCampaign:
+    def test_tiny_budget_passes_and_writes_report(self, tmp_path):
+        out = tmp_path / "AUDIT.json"
+        report = run_audit(seeds=(0,), budget=6, out_path=out)
+        assert report["schema"] == AUDIT_SCHEMA
+        assert report["passed"] is True
+        assert report["n_geometries"] == 6
+        assert report["failed_cases"] == 0
+        assert report["contract_violations"] == 0
+        assert report["contract_checks"] > 0  # hooks fired under the campaign
+        assert report["worst_divergence"] <= report["tolerance"]
+        assert set(report["areas"]) == set(AUDIT_AREAS)
+        for area in report["areas"].values():
+            assert area["cases"] == 6
+            assert area["failed"] == 0
+            assert area["counterexamples"] == []
+        on_disk = json.loads(out.read_text(encoding="utf-8"))
+        assert on_disk == report
+
+    def test_env_var_controls_out_path(self, tmp_path, monkeypatch):
+        out = tmp_path / "from_env.json"
+        monkeypatch.setenv("SAMPLEATTN_AUDIT_OUT", str(out))
+        run_audit(seeds=(0,), budget=2)
+        assert out.exists()
+
+    def test_empty_out_path_disables_writing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("SAMPLEATTN_AUDIT_OUT", "")
+        run_audit(seeds=(0,), budget=2)
+        assert not (tmp_path / "AUDIT.json").exists()
+
+    def test_area_subset_and_unknown_area(self, tmp_path):
+        report = run_audit(
+            seeds=(0,), budget=3, areas=("kernels",), out_path=tmp_path / "a.json"
+        )
+        assert list(report["areas"]) == ["kernels"]
+        with pytest.raises(ReproError, match="unknown audit areas"):
+            run_audit(seeds=(0,), budget=1, areas=("bogus",))
+
+    def test_contracts_restored_after_campaign(self, tmp_path):
+        assert not contracts.enabled()
+        run_audit(seeds=(0,), budget=2, out_path=tmp_path / "a.json")
+        assert not contracts.enabled()
+
+
+class TestFailingCampaign:
+    def test_planted_divergence_fails_and_records_counterexample(
+        self, tmp_path, monkeypatch
+    ):
+        real_run_case = campaign.run_case
+
+        def bad_run_case(case, area):
+            if area == "striped":
+                return CaseResult(area, False, 1e-3, "planted divergence")
+            return real_run_case(case, area)
+
+        monkeypatch.setattr(campaign, "run_case", bad_run_case)
+        out = tmp_path / "AUDIT.json"
+        with pytest.raises(ReproError, match="audit campaign failed"):
+            run_audit(seeds=(0,), budget=3, out_path=out, shrink=False)
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["passed"] is False
+        assert report["failed_cases"] == 3
+        assert report["worst_divergence"] == pytest.approx(1e-3)
+        striped = report["areas"]["striped"]
+        assert striped["failed"] == 3
+        ce = striped["counterexamples"][0]
+        assert ce["detail"] == "planted divergence"
+        # Unshrunk counterexamples still carry the re-runnable case fields.
+        assert {"seed", "s_q", "s_k", "window"} <= set(ce["case"])
+        assert report["areas"]["kernels"]["failed"] == 0
+
+    def test_failures_are_shrunk_when_enabled(self, tmp_path, monkeypatch):
+        def bad_run_case(case, area):
+            return CaseResult(area, case.s_k < 4, float("inf"), "synthetic")
+
+        monkeypatch.setattr(campaign, "run_case", bad_run_case)
+        import repro.audit.geometry as geo
+
+        monkeypatch.setattr(geo, "run_case", bad_run_case)
+        out = tmp_path / "AUDIT.json"
+        with pytest.raises(ReproError):
+            run_audit(
+                seeds=(0,),
+                budget=4,
+                areas=("kernels",),
+                out_path=out,
+                max_counterexamples=2,
+            )
+        report = json.loads(out.read_text(encoding="utf-8"))
+        kept = report["areas"]["kernels"]["counterexamples"]
+        assert len(kept) == report["areas"]["kernels"]["failed"]
+        # Only the first max_counterexamples are shrunk; later failures keep
+        # their original geometry (still counted, still re-runnable).
+        for ce in kept[:2]:
+            assert ce["shrunk"]["s_k"] == 4  # minimal still-failing geometry
+        for ce in kept[2:]:
+            assert ce["shrunk"] == ce["case"]
+
+    def test_contract_violation_fails_campaign(self, tmp_path, monkeypatch):
+        from repro.errors import ContractViolation
+
+        def violating_run_case(case, area):
+            raise ContractViolation("planted contract breach")
+
+        monkeypatch.setattr(campaign, "run_case", violating_run_case)
+        out = tmp_path / "AUDIT.json"
+        with pytest.raises(ReproError, match="contract violations"):
+            run_audit(
+                seeds=(0,), budget=1, areas=("kernels",), out_path=out,
+                shrink=False,
+            )
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["contract_violations"] == 1
+        assert "planted contract breach" in report["contract_violation_messages"][0]
+
+
+class TestExperimentWrapper:
+    def test_quick_scale_returns_table(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SAMPLEATTN_AUDIT_OUT", str(tmp_path / "a.json"))
+        calls = {}
+
+        def fake_run_audit(*, seeds, budget):
+            calls["seeds"], calls["budget"] = seeds, budget
+            return {
+                "schema": AUDIT_SCHEMA,
+                "seeds": list(seeds),
+                "budget": budget,
+                "tolerance": 2e-5,
+                "n_geometries": len(seeds) * budget,
+                "contract_checks": 1,
+                "contract_violations": 0,
+                "areas": {
+                    "kernels": {
+                        "area": "kernels",
+                        "cases": 1,
+                        "passed": 1,
+                        "failed": 0,
+                        "checks": 4,
+                        "worst_divergence": 0.0,
+                    }
+                },
+            }
+
+        monkeypatch.setattr(campaign, "run_audit", fake_run_audit)
+        tables = run_audit_experiment("quick", seed=7)
+        assert calls["seeds"] == (7, 8)
+        assert calls["budget"] == campaign.DEFAULT_BUDGET
+        assert len(tables) == 1 and isinstance(tables[0], Table)
+
+    def test_full_scale_uses_nightly_budget(self, monkeypatch):
+        calls = {}
+
+        def fake_run_audit(*, seeds, budget):
+            calls["seeds"], calls["budget"] = seeds, budget
+            return {
+                "schema": AUDIT_SCHEMA,
+                "seeds": list(seeds),
+                "budget": budget,
+                "tolerance": 2e-5,
+                "n_geometries": len(seeds) * budget,
+                "contract_checks": 0,
+                "contract_violations": 0,
+                "areas": {},
+            }
+
+        monkeypatch.setattr(campaign, "run_audit", fake_run_audit)
+        run_audit_experiment("full", seed=0)
+        assert calls["seeds"] == (0, 1, 2, 3)
+        assert calls["budget"] == 512
+
+    def test_registered_in_harness_experiments(self):
+        from repro.harness.experiments import EXPERIMENTS
+
+        assert "audit" in EXPERIMENTS

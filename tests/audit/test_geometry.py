@@ -1,0 +1,118 @@
+"""Tests for the geometry fuzzer: sampling, area checks, shrinking."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.audit.geometry import (
+    AUDIT_AREAS,
+    GeometryCase,
+    run_case,
+    sample_case,
+    sample_cases,
+    shrink_case,
+)
+from repro.errors import ConfigError
+
+BASE = GeometryCase(
+    seed=7,
+    h=2,
+    h_kv=1,
+    s_q=20,
+    s_k=33,
+    d=4,
+    block_size=8,
+    window=5,
+    stripe_mode="random",
+    sink_tokens=1,
+    dense_last_rows=0,
+    alpha=0.95,
+    r_row=0.05,
+    min_keep=1,
+)
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = sample_cases(0, 16)
+        b = sample_cases(0, 16)
+        assert a == b
+
+    def test_seeds_differ(self):
+        assert sample_cases(0, 8) != sample_cases(1, 8)
+
+    def test_cases_are_valid_shapes(self):
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            c = sample_case(rng)
+            assert 1 <= c.s_q <= c.s_k
+            assert c.h % c.h_kv == 0
+            assert 0 <= c.window <= c.s_k
+            assert c.block_size in (8, 16, 32)
+
+    def test_covers_adversarial_regions(self):
+        cases = sample_cases(0, 300)
+        assert any(c.s_q < c.s_k for c in cases)  # chunked offsets
+        assert any(c.s_k % c.block_size for c in cases)  # ragged tails
+        assert any(c.window == 0 for c in cases)
+        assert any(c.window == 1 for c in cases)
+        assert any(c.window == c.s_k for c in cases)
+        assert any(c.stripe_mode == "empty" for c in cases)
+        assert any(c.stripe_mode == "full" for c in cases)
+        assert any(c.h > c.h_kv for c in cases)  # GQA
+        assert any(c.alpha == 1.0 for c in cases)
+        assert any(c.min_keep == 0 for c in cases)
+
+
+class TestAreaChecks:
+    @pytest.mark.parametrize("area", AUDIT_AREAS)
+    def test_base_case_passes(self, area):
+        result = run_case(BASE, area)
+        assert result.passed, result.detail
+        assert result.divergence <= 2e-5
+
+    @pytest.mark.parametrize("area", AUDIT_AREAS)
+    def test_sampled_cases_pass(self, area):
+        for case in sample_cases(5, 12):
+            result = run_case(case, area)
+            assert result.passed, (case, result.detail)
+
+    def test_window_zero_counts_as_rejection_pass(self):
+        case = dataclasses.replace(BASE, window=0)
+        assert run_case(case, "kernels").passed
+        assert run_case(case, "striped").passed
+
+    def test_single_token_geometry(self):
+        case = dataclasses.replace(
+            BASE, s_q=1, s_k=1, window=1, min_keep=1, sink_tokens=0
+        )
+        for area in AUDIT_AREAS:
+            assert run_case(case, area).passed
+
+    def test_unknown_area_rejected(self):
+        with pytest.raises(ConfigError):
+            run_case(BASE, "nonsense")
+
+
+class TestShrinking:
+    def test_shrinks_planted_predicate_to_minimum(self, monkeypatch):
+        # Plant a synthetic failure predicate: any case with s_k >= 4
+        # "fails".  The shrinker must walk down to the smallest still-
+        # failing geometry rather than report the original.
+        import repro.audit.geometry as geo
+
+        def fake_run_case(case, area):
+            failing = case.s_k >= 4
+            return geo.CaseResult(area, not failing, 0.0, "synthetic")
+
+        monkeypatch.setattr(geo, "run_case", fake_run_case)
+        shrunk = geo.shrink_case(BASE, "kernels")
+        assert shrunk.s_k == 4
+        assert shrunk.s_q == 1
+        assert shrunk.h == 1 and shrunk.h_kv == 1
+        assert shrunk.d == 1
+        assert shrunk.stripe_mode == "empty"
+
+    def test_passing_case_shrinks_to_itself(self):
+        assert shrink_case(BASE, "kernels") == BASE

@@ -46,6 +46,38 @@ class TestSampledRowIndices:
         with pytest.raises(ConfigError):
             sampled_row_indices(10, 1.5)
 
+    def test_front_stratum_reachable_on_ragged_lengths(self):
+        # Regression: the old truncated stride s_q // n left the first
+        # s_q - n*(s_q // n) rows permanently unsampled whenever
+        # s_q % n != 0.  For s_q=101, r_row=0.05 (n=6, old stride 16) the
+        # minimum sampled index was 20, so stratum 0 ([0, 17)) was
+        # unreachable for any seed.  The renormalised grid must place one
+        # index in every stratum [floor(j*s_q/n), floor((j+1)*s_q/n)).
+        s_q, n = 101, 6
+        idx = sampled_row_indices(s_q, 0.05)
+        assert len(idx) == n
+        assert idx[-1] == s_q - 1
+        assert idx.min() < -(-s_q // n)  # front stratum covered (old min: 20)
+
+    @pytest.mark.parametrize("s_q", [7, 101, 337, 999])
+    @pytest.mark.parametrize("r_row", [0.03, 0.05, 0.31])
+    @pytest.mark.parametrize("from_end", [True, False])
+    def test_every_stratum_covered(self, s_q, r_row, from_end):
+        idx = sampled_row_indices(s_q, r_row, from_end=from_end)
+        n = len(idx)
+        assert np.all(np.diff(idx) > 0)
+        assert 0 <= idx[0] and idx[-1] < s_q
+        if from_end:
+            assert idx[-1] == s_q - 1
+        else:
+            assert idx[0] == 0
+        # One index per length-(s_q/n) stratum, counted from the anchor end.
+        anchored = (s_q - 1 - idx)[::-1] if from_end else idx
+        strata = np.searchsorted(
+            (np.arange(1, n + 1) * s_q) // n, anchored, side="right"
+        )
+        np.testing.assert_array_equal(strata, np.arange(n))
+
 
 class TestSampleColumnScores:
     def test_matches_naive_full_sampling(self, rng):

@@ -170,7 +170,7 @@ class TestMaskAlgebraProperties:
     @given(
         s=st.integers(32, 160),
         block=st.sampled_from([16, 32]),
-        window=st.integers(0, 80),
+        window=st.integers(1, 80),
         sinks=st.integers(0, 8),
     )
     @settings(**SETTINGS)
