@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.model",
+    "repro.memory",
     "repro.analysis",
     "repro.perf",
     "repro.tasks",

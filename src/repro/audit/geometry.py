@@ -2,9 +2,10 @@
 
 Every way this package can compute attention -- dense, tiled flash, the
 three block-sparse kernel modes, the striped executor, the full Algorithm-1
-pipeline, and the serving chain's ``plan -> PlanCache.get/extended ->
-execute`` reuse path -- must agree with the masked-dense gold standard on
-*every* geometry, not just the hand-picked shapes unit tests use.  This
+pipeline, the serving chain's ``plan -> PlanCache.get/extended ->
+execute`` reuse path, and the paged-KV gather feeding all of them -- must
+agree with the masked-dense gold standard on *every* geometry, not just
+the hand-picked shapes unit tests use.  This
 module samples the shapes that historically break index-built sparse
 kernels:
 
@@ -42,6 +43,8 @@ from ..config import KERNEL_MODES, SampleAttentionConfig
 from ..core.plan import SparsePlan
 from ..core.sample_attention import plan_sample_attention, sample_attention
 from ..errors import ConfigError, MaskError, ReproError
+from ..memory import KVArena, PagedLayerKVCache
+from ..model.kv_cache import LayerKVCache
 from ..serving.plan_cache import PlanCache
 
 __all__ = [
@@ -60,7 +63,7 @@ __all__ = [
 TOLERANCE = 2e-5
 
 #: The cross-checked areas, in execution-chain order.
-AUDIT_AREAS = ("kernels", "striped", "pipeline", "serving")
+AUDIT_AREAS = ("kernels", "striped", "pipeline", "serving", "paged")
 
 _STRIPE_MODES = ("empty", "full", "random")
 
@@ -465,11 +468,146 @@ def _check_serving(case: GeometryCase) -> CaseResult:
     )
 
 
+def _check_paged(case: GeometryCase) -> CaseResult:
+    """Paged-KV gather vs the contiguous cache oracle.
+
+    Mirrors one request's cache life: chunked appends with a mid-stream
+    rollback, a copy-on-write fork off an adopted shared prefix, and a
+    heavy-hitter-shaped eviction -- each driven identically into a
+    :class:`PagedLayerKVCache` and a contiguous :class:`LayerKVCache`.
+    The paged views must be *bitwise* equal (a gather moves bytes, it does
+    no arithmetic), and attention computed through them must stay within
+    ``TOLERANCE`` of the contiguous result.
+    """
+    rng = np.random.default_rng(case.seed + 3)
+    bt = case.block_size  # reuse the fuzzed tile size as paging granularity
+    blocks_needed = -(-case.s_k // bt)
+    # Room for the request, a forked sibling, and fork/eviction slack.
+    arena = KVArena(
+        n_blocks=3 * blocks_needed + 4,
+        n_kv_heads=case.h_kv,
+        block_tokens=bt,
+        d_head=case.d,
+    )
+    paged = PagedLayerKVCache(arena)
+    contig = LayerKVCache(case.h_kv, case.d, capacity=max(case.s_k, 1))
+
+    def feed(target_len: int) -> None:
+        while len(contig) < target_len:
+            n = int(rng.integers(1, target_len - len(contig) + 1))
+            k = rng.standard_normal((case.h_kv, n, case.d), dtype=np.float32)
+            v = rng.standard_normal((case.h_kv, n, case.d), dtype=np.float32)
+            pos = np.arange(len(contig), len(contig) + n, dtype=np.int64)
+            paged.append(k, v, pos)
+            contig.append(k, v, pos)
+
+    # Chunked fill with one mid-stream rollback (the retry path).
+    mid = max(1, case.s_k // 2)
+    feed(mid)
+    mark = int(rng.integers(0, mid + 1))
+    paged.truncate(mark)
+    contig.truncate(mark)
+    feed(case.s_k)
+
+    checks = 0
+    if not (
+        np.array_equal(paged.keys, contig.keys)
+        and np.array_equal(paged.values, contig.values)
+        and np.array_equal(paged.positions, contig.positions)
+    ):
+        return CaseResult(
+            "paged", False, float("inf"), "gather differs from contiguous"
+        )
+    checks += 1
+
+    # Attention through the gathered views vs through the private arrays.
+    q = rng.standard_normal((case.h, case.s_q, case.d), dtype=np.float32)
+    out_paged = flash_attention(q, paged.keys, paged.values)
+    out_contig = flash_attention(q, contig.keys, contig.values)
+    div = _divergence(out_paged, out_contig)
+    if div > TOLERANCE:
+        return CaseResult(
+            "paged", False, div, "attention through paged views diverges"
+        )
+    checks += 1
+
+    # Copy-on-write: a sibling adopts the full-block prefix, then writes.
+    n_shared = min(len(paged) // bt, paged.n_blocks)
+    if n_shared > 0:
+        sibling = PagedLayerKVCache(arena)
+        sibling.adopt_shared(
+            list(paged.block_ids[:n_shared]),
+            np.asarray(paged.positions[: n_shared * bt]),
+        )
+        donor_keys = paged.keys.copy()
+        n_tail = int(rng.integers(1, bt + 1))
+        k_t = rng.standard_normal((case.h_kv, n_tail, case.d), dtype=np.float32)
+        v_t = rng.standard_normal((case.h_kv, n_tail, case.d), dtype=np.float32)
+        tail_pos = np.arange(
+            n_shared * bt, n_shared * bt + n_tail, dtype=np.int64
+        )
+        sibling.append(k_t, v_t, tail_pos)
+        donor_intact = np.array_equal(paged.keys, donor_keys)
+        sibling_prefix_ok = np.array_equal(
+            sibling.keys[:, : n_shared * bt], contig.keys[:, : n_shared * bt]
+        ) and np.array_equal(sibling.keys[:, n_shared * bt :], k_t)
+        sibling.release()
+        if not donor_intact:
+            return CaseResult(
+                "paged",
+                False,
+                float("inf"),
+                "copy-on-write fork mutated the donor's shared block",
+            )
+        if not sibling_prefix_ok:
+            return CaseResult(
+                "paged",
+                False,
+                float("inf"),
+                "forked sibling's gather differs from its oracle",
+            )
+        checks += 1
+
+    # Rectangular eviction must commute with paging.
+    if len(contig) > 1:
+        keep_n = max(1, len(contig) // 2)
+        keep = [
+            np.sort(
+                rng.choice(len(contig), size=keep_n, replace=False)
+            ).astype(np.int64)
+            for _ in range(case.h_kv)
+        ]
+        paged.evict(keep)
+        contig.evict(keep)
+        if not (
+            np.array_equal(paged.keys, contig.keys)
+            and np.array_equal(paged.values, contig.values)
+        ):
+            return CaseResult(
+                "paged", False, float("inf"), "post-eviction gather differs"
+            )
+        checks += 1
+
+    paged.release()
+    if arena.blocks_in_use != 0:
+        return CaseResult(
+            "paged",
+            False,
+            float("inf"),
+            f"arena leak: {arena.blocks_in_use} blocks after release",
+        )
+    checks += 1
+    return CaseResult(
+        "paged", True, div, "paged gather matches contiguous", checks=checks
+    )
+
+
 _CHECKERS = {
     "kernels": _check_kernels,
     "striped": _check_striped,
     "pipeline": _check_pipeline,
     "serving": _check_serving,
+    "paged": _check_paged,
 }
 
 

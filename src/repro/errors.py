@@ -19,6 +19,7 @@ __all__ = [
     "FaultInjectionError",
     "DeadlineExceededError",
     "ContractViolation",
+    "ArenaExhaustedError",
 ]
 
 
@@ -61,6 +62,18 @@ class FaultInjectionError(ReproError, RuntimeError):
 
 class DeadlineExceededError(ReproError, TimeoutError):
     """A request exceeded its per-request deadline on the virtual clock."""
+
+
+class ArenaExhaustedError(ReproError, MemoryError):
+    """The paged KV arena has no free blocks left.
+
+    Raised by :meth:`repro.memory.KVArena.alloc` when every block is in
+    use (or reserved by an injected arena-exhaustion fault).  The serving
+    engine treats this as the memory-pressure analogue of a transient
+    fault: it rolls the in-flight quantum back, runs the pressure ladder
+    (registry shrink -> live eviction -> quantize hook -> shed), and
+    retries under a bounded budget.
+    """
 
 
 class ContractViolation(ReproError, AssertionError):

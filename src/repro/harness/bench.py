@@ -15,7 +15,12 @@ successive PRs accumulate a regression trajectory, and each run:
   (``executed_elements_seconds`` on the billed element counts), and the
   fast path's timing must shrink monotonically with plan density;
 * **tracks regressions** -- when a previous ``BENCH_kernel.json`` exists,
-  per-case fast-path timings are carried over and the ratio recorded.
+  per-case fast-path timings are carried over and the ratio recorded;
+* **gates on workspace growth** -- the fast path's peak
+  :class:`~repro.attention.fastpath.KernelWorkspace` arena bytes are
+  recorded per case (schema v2) and, unlike wall-clock, are deterministic
+  for a given workload, so a case needing *more* scratch than the previous
+  run is a hard failure rather than trajectory data.
 
 Environment knobs (used by the CI ``bench-smoke`` job):
 
@@ -160,6 +165,8 @@ def _bench_case(case: KernelBenchCase, seed: int, reps: int) -> dict:
     )
 
     dense_secs = seconds.get("dense", seconds["flash"])
+    # The workspace is grow-only, so after the timed warm calls its
+    # resident bytes *are* the peak for this case's geometry.
     return {
         "name": case.name,
         "seq_len": case.seq_len,
@@ -175,6 +182,7 @@ def _bench_case(case: KernelBenchCase, seed: int, reps: int) -> dict:
         "speedup_fast_vs_dense": dense_secs / seconds["fast"],
         "roofline_speedup_vs_dense": roofline,
         "max_abs_err_fast_vs_reference": err,
+        "workspace_bytes_peak": workspace.nbytes,
         "fast_stats": {
             **(fast.stats or {}),
             "workspace_allocations": workspace.allocations,
@@ -211,6 +219,7 @@ def run_kernel_bench(
         enforce = os.environ.get("SAMPLEATTN_BENCH_ENFORCE", "") == "1"
 
     previous: dict[str, float] = {}
+    previous_ws: dict[str, int] = {}
     out_file = Path(out_path) if out_path else None
     if out_file is not None and out_file.exists():
         try:
@@ -218,8 +227,19 @@ def run_kernel_bench(
             previous = {
                 c["name"]: c["seconds"]["fast"] for c in prior.get("cases", [])
             }
+            # v2 records the peak top-level per case; v1 stashed the same
+            # number inside fast_stats -- accept either so the gate engages
+            # across the schema bump.
+            for c in prior.get("cases", []):
+                ws = c.get(
+                    "workspace_bytes_peak",
+                    c.get("fast_stats", {}).get("workspace_bytes"),
+                )
+                if ws is not None:
+                    previous_ws[c["name"]] = int(ws)
         except (json.JSONDecodeError, KeyError, TypeError):
             previous = {}
+            previous_ws = {}
 
     results = []
     for case in cases if cases is not None else kernel_bench_cases(scale):
@@ -232,6 +252,17 @@ def run_kernel_bench(
         record["regressed"] = bool(
             prev and record["seconds"]["fast"] > REGRESSION_RATIO * prev
         )
+        prev_ws = previous_ws.get(record["name"])
+        record["previous_workspace_bytes_peak"] = prev_ws
+        if prev_ws is not None and record["workspace_bytes_peak"] > prev_ws:
+            # Workspace footprint is a function of (workload, kernel code)
+            # only -- no scheduler noise -- so growth is a real memory
+            # regression and gates unconditionally, like numeric divergence.
+            raise ReproError(
+                f"fast-path workspace grew on {record['name']}: "
+                f"{record['workspace_bytes_peak']} bytes > previous "
+                f"{prev_ws}"
+            )
         results.append(record)
 
     # Sanity: fast-path time shrinks (within noise) as plans get sparser
@@ -264,12 +295,15 @@ def run_kernel_bench(
             )
 
     report = {
-        "schema": "sampleattn-kernel-bench/v1",
+        "schema": "sampleattn-kernel-bench/v2",
         "scale": scale,
         "seed": seed,
         "reps": reps,
         "tolerance": NUMERIC_TOLERANCE,
         "enforced": bool(enforce),
+        "workspace_bytes_peak": max(
+            (r["workspace_bytes_peak"] for r in results), default=0
+        ),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
         "unix_time": time.time(),
@@ -332,11 +366,13 @@ def run_bench(scale="quick", seed: int = 0) -> list[Table]:
             "gemm_calls",
             "tiles_visited",
             "ws_allocs",
+            "ws_peak_kb",
             "regressed",
         ],
         notes="workspace allocations are cumulative across the warm calls "
         "of one case; flat counts across cases mean O(1) steady-state "
-        "allocation",
+        "allocation. ws_peak_kb is deterministic and gated against the "
+        "previous BENCH_kernel.json",
     )
     for r in report["cases"]:
         s = r["fast_stats"]
@@ -347,6 +383,7 @@ def run_bench(scale="quick", seed: int = 0) -> list[Table]:
             int(s.get("gemm_calls", 0)),
             int(s.get("tiles_visited", 0)),
             int(s.get("workspace_allocations", 0)),
+            round(r["workspace_bytes_peak"] / 1024, 1),
             "yes" if r["regressed"] else "no",
         )
     return [table, stats]

@@ -46,6 +46,12 @@ def _run_audit(scale="quick", seed: int = 0):
     from ..audit.campaign import run_audit_experiment
 
     return run_audit_experiment(scale=scale, seed=seed)
+
+
+def _run_memory(scale="quick", seed: int = 0):
+    from .memdrill import run_memory
+
+    return run_memory(scale=scale, seed=seed)
 from .methods import METHOD_NAMES, make_backend
 from .tables import Table
 
@@ -1028,6 +1034,7 @@ EXPERIMENTS = {
     "serving": (run_serving, "Queueing/TTFT under a request stream (simulator)"),
     "serve": (run_serve, "Executed serving engine vs simulator prediction"),
     "chaos": (run_chaos, "Fault-injection drill: engine recovery under chaos"),
+    "memory": (_run_memory, "Memory drill: paged-KV capacity + pressure recovery"),
     "bench": (_run_bench, "Kernel bench: execution paths + BENCH_kernel.json"),
     "audit": (_run_audit, "Differential audit: geometry fuzz + AUDIT.json"),
 }

@@ -1,0 +1,464 @@
+"""Memory drill: the paged-KV subsystem's capacity and recovery gates.
+
+``sampleattn memory`` exercises :mod:`repro.memory` end to end and
+*asserts* its claims instead of just reporting them (the same philosophy
+as the chaos drill):
+
+* **Session capacity** -- within one fixed arena budget, copy-on-write
+  prefix sharing must fit at least :data:`CAPACITY_GAIN_FLOOR` times more
+  concurrent shared-prefix sessions than the no-sharing baseline where
+  every session stores its full KV privately.
+* **Engine-level sharing** -- a shared-prefix workload served with
+  ``kv_backend="paged"`` must adopt registered prefixes (cache hits,
+  tokens reused), complete every request, and finish with zero leaked
+  arena blocks; with dense (``flash``) attention its per-request outcomes
+  must match the contiguous backend exactly.
+* **Pressure recovery** -- the PR-2 fault drill (transient attend faults,
+  plan poisoning, latency spikes, stragglers, admission burst) re-run on
+  the paged engine with a deliberately tight arena and arena-exhaustion
+  bursts must keep every recovery invariant and stay bitwise
+  deterministic across same-seed runs.
+
+Results land in ``MEMORY_drill.json`` (``$SAMPLEATTN_MEMDRILL_OUT``
+overrides the path, ``""`` disables writing) so CI can upload the drill
+summary as an artifact.  Any gate failure raises
+:class:`~repro.errors.ReproError` -- a non-zero CLI exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ArenaExhaustedError, ReproError
+from ..memory import KVArena, PagedLayerKVCache, PrefixSharingRegistry
+from ..model import build_model
+from .tables import Table
+
+__all__ = [
+    "CAPACITY_GAIN_FLOOR",
+    "session_capacity",
+    "run_memory_drill",
+    "run_memory",
+]
+
+#: The drill fails below this paged-over-contiguous session-capacity gain.
+CAPACITY_GAIN_FLOOR = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: allocator-level session capacity under a fixed arena budget.
+# ---------------------------------------------------------------------------
+
+
+def session_capacity(
+    *,
+    arena_blocks: int = 256,
+    n_layers: int = 4,
+    n_kv_heads: int = 2,
+    d_head: int = 16,
+    block_tokens: int = 16,
+    prefix_tokens: int = 192,
+    suffix_tokens: int = 16,
+    seed: int = 0,
+) -> dict:
+    """Count resident shared-prefix sessions until arena exhaustion.
+
+    Both arms use the same arena budget and the same session shape (a
+    common ``prefix_tokens`` prompt plus a private ``suffix_tokens``
+    tail across ``n_layers`` layers); the baseline arm simply never
+    shares, so every session pays for the prefix again.  Deterministic:
+    the counts depend only on the geometry.
+    """
+    rng = np.random.default_rng(seed)
+    total = prefix_tokens + suffix_tokens
+    shared_tokens = rng.integers(0, 1024, size=prefix_tokens, dtype=np.int64)
+
+    def kv(n: int) -> tuple[np.ndarray, np.ndarray]:
+        k = rng.standard_normal((n_kv_heads, n, d_head), dtype=np.float32)
+        v = rng.standard_normal((n_kv_heads, n, d_head), dtype=np.float32)
+        return k, v
+
+    def fill(cache: PagedLayerKVCache, n: int, start: int) -> None:
+        k, v = kv(n)
+        cache.append(k, v, np.arange(start, start + n, dtype=np.int64))
+
+    # --- baseline: private KV per session, no sharing -------------------
+    arena = KVArena(arena_blocks, n_kv_heads, block_tokens, d_head)
+    contiguous_sessions = 0
+    resident: list[list[PagedLayerKVCache]] = []
+    try:
+        while True:
+            caches = [PagedLayerKVCache(arena) for _ in range(n_layers)]
+            for c in caches:
+                fill(c, total, 0)
+            resident.append(caches)
+            contiguous_sessions += 1
+    except ArenaExhaustedError:
+        pass
+    for caches in resident:
+        for c in caches:
+            c.release()
+
+    # --- paged + copy-on-write sharing ----------------------------------
+    arena = KVArena(arena_blocks, n_kv_heads, block_tokens, d_head)
+    registry = PrefixSharingRegistry(arena)
+    donor = [PagedLayerKVCache(arena) for _ in range(n_layers)]
+    for c in donor:
+        fill(c, prefix_tokens, 0)
+    registered = registry.register(shared_tokens, donor)
+    for c in donor:
+        c.release()  # the registry's refs keep the prefix alive
+
+    paged_sessions = 0
+    resident = []
+    try:
+        while True:
+            found = registry.lookup(shared_tokens)
+            if found is None:
+                raise ReproError(
+                    "sharing registry lost a registered prefix mid-drill"
+                )
+            blocks, positions = found
+            caches = []
+            for layer in range(n_layers):
+                c = PagedLayerKVCache(arena)
+                c.adopt_shared(list(blocks[layer]), np.asarray(positions))
+                caches.append(c)
+            for c in caches:
+                fill(c, suffix_tokens, prefix_tokens)
+            resident.append(caches)
+            paged_sessions += 1
+    except ArenaExhaustedError:
+        pass
+    shared_blocks = arena.shared_blocks
+    for caches in resident:
+        for c in caches:
+            c.release()
+    registry.clear()
+
+    gain = paged_sessions / max(contiguous_sessions, 1)
+    return {
+        "arena_blocks": arena_blocks,
+        "arena_bytes": arena.bytes_total,
+        "n_layers": n_layers,
+        "block_tokens": block_tokens,
+        "prefix_tokens": prefix_tokens,
+        "suffix_tokens": suffix_tokens,
+        "registered_prefix_blocks": registered,
+        "shared_blocks_at_peak": shared_blocks,
+        "contiguous_sessions": contiguous_sessions,
+        "paged_sessions": paged_sessions,
+        "capacity_gain": round(gain, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: engine-level prefix sharing on a shared-prefix workload.
+# ---------------------------------------------------------------------------
+
+
+def _shared_prefix_builder(model, seed: int, unique_tail: int = 64):
+    """A ``prompt_builder`` whose prompts share everything but the tail."""
+    vocab = model.config.vocab_size
+
+    def build(request, executed_len: int) -> np.ndarray:
+        shared_len = max(executed_len - unique_tail, 0)
+        shared = np.random.default_rng((seed, 0xF1E1D)).integers(
+            0, vocab, size=shared_len, dtype=np.int64
+        )
+        tail = np.random.default_rng((seed, request.request_id)).integers(
+            0, vocab, size=executed_len - shared_len, dtype=np.int64
+        )
+        return np.concatenate([shared, tail])
+
+    return build
+
+
+def _engine_sharing_drill(model, seed: int, quick: bool) -> dict:
+    from ..serving import ServingEngine, poisson_workload
+
+    rng = np.random.default_rng(seed)
+    requests = poisson_workload(
+        rng,
+        rate_per_s=2.0,
+        duration_s=3.0 if quick else 6.0,
+        prompt_lens=(8192,),
+        decode_tokens=2,
+    )
+    builder = _shared_prefix_builder(model, seed)
+    runs = {}
+    for backend in ("contiguous", "paged"):
+        engine = ServingEngine(
+            model,
+            method="flash",  # dense attention: chunk-boundary invariant
+            chunk_size=96,
+            length_scale=32,
+            billing="roofline",
+            kv_backend=backend,
+            block_tokens=32,
+            prompt_builder=builder,
+            seed=seed,
+        )
+        runs[backend] = engine.run(list(requests))
+
+    paged, contig = runs["paged"].summary(), runs["contiguous"].summary()
+    if paged["n_completed"] != contig["n_completed"] or paged["n_completed"] == 0:
+        raise ReproError(
+            "paged engine completion diverged from contiguous on the "
+            f"shared-prefix workload: {paged['n_completed']} vs "
+            f"{contig['n_completed']}"
+        )
+    for p, c in zip(runs["paged"].requests, runs["contiguous"].requests):
+        if p.outcome != c.outcome:
+            raise ReproError(
+                f"request {p.request_id} outcome diverged under paging: "
+                f"{p.outcome} vs {c.outcome}"
+            )
+    if paged["prefix_cache_hits"] < 1:
+        raise ReproError(
+            "shared-prefix workload produced no prefix-cache adoption"
+        )
+    mem = runs["paged"].memory
+    if mem["arena"]["blocks_in_use"] != 0:
+        raise ReproError(
+            f"arena leak after run: {mem['arena']['blocks_in_use']} blocks"
+        )
+
+    bpt = 2 * model.config.n_kv_heads * model.config.d_head * 4  # bytes/token
+    contiguous_bytes = sum(
+        tm.executed_len * model.config.n_layers * bpt
+        for tm in runs["contiguous"].requests
+        if tm.executed_len
+    )
+    return {
+        "n_requests": int(paged["n_requests"]),
+        "n_completed": int(paged["n_completed"]),
+        "prefix_cache_hits": int(paged["prefix_cache_hits"]),
+        "prefix_tokens_reused": int(paged["prefix_tokens_reused"]),
+        "arena": mem["arena"],
+        "sharing": mem["sharing"],
+        "aggregate_contiguous_kv_bytes": int(contiguous_bytes),
+        "arena_peak_bytes": int(
+            mem["arena"]["peak_blocks_in_use"]
+            * (mem["arena"]["bytes_total"] // mem["arena"]["n_blocks"])
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 3: the PR-2 fault drill on the paged engine, arena squeezed.
+# ---------------------------------------------------------------------------
+
+
+def _pressure_recovery_drill(model, seed: int, quick: bool) -> dict:
+    from ..serving import (
+        FaultInjector,
+        ServingEngine,
+        check_recovery_invariants,
+        inject_admission_burst,
+        poisson_workload,
+    )
+
+    rng = np.random.default_rng(seed)
+    requests = poisson_workload(
+        rng,
+        rate_per_s=3.0 if quick else 2.0,
+        duration_s=2.0 if quick else 8.0,
+        prompt_lens=(8192, 16384),
+        decode_tokens=2,
+    )
+    requests = inject_admission_burst(
+        requests,
+        seed=seed,
+        at=0.25,
+        n=3 if quick else 6,
+        prompt_len=16384,
+        decode_tokens=1,
+    )
+    # The PR-2 adversary, plus the memory fault kind this PR adds.
+    injector = FaultInjector(
+        seed,
+        p_attend_fault=0.3,
+        max_transient_failures=2,
+        p_plan_poison=0.35,
+        p_latency_spike=0.2,
+        spike_multiplier=6.0,
+        p_straggler=0.25,
+        straggler_multiplier=3.0,
+        p_arena_exhaustion=0.2,
+        exhaustion_fraction=0.5,
+    )
+    length_scale = 32 if quick else 16
+    bt = 32
+    # Tight arena: about 1.5x one max-size request, far below the
+    # auto-sized budget -- exhaustion and the pressure ladder must fire.
+    need_one = model.config.n_layers * (
+        -(-(16384 // length_scale + 2 + 1) // bt)
+    )
+    arena_blocks = need_one + need_one // 2
+
+    def drill():
+        engine = ServingEngine(
+            model,
+            method="sample",
+            chunk_size=96 if quick else 256,
+            length_scale=length_scale,
+            billing="roofline",
+            max_queue=6,
+            admission_policy="shed_oldest",
+            fault_injector=injector,
+            deadline_s=4.0,
+            max_retries=2,
+            degrade_after=2,
+            breaker_threshold=3,
+            breaker_cooldown_chunks=4,
+            kv_backend="paged",
+            arena_blocks=arena_blocks,
+            block_tokens=bt,
+            seed=seed,
+        )
+        return engine.run(list(requests))
+
+    result = drill()
+    repeat = drill()
+    if result.summary() != repeat.summary():
+        raise ReproError(
+            "paged fault drill not deterministic: same seed, different "
+            "telemetry summaries"
+        )
+    breaches = check_recovery_invariants(result)
+    if breaches:
+        raise ReproError(
+            "paged fault drill breached recovery invariants:\n  "
+            + "\n  ".join(breaches)
+        )
+    summ = result.summary()
+    if result.memory["arena"]["blocks_in_use"] != 0:
+        raise ReproError(
+            "paged fault drill leaked "
+            f"{result.memory['arena']['blocks_in_use']} arena blocks"
+        )
+    keys = (
+        "n_requests",
+        "n_completed",
+        "n_rejected",
+        "n_shed",
+        "faults_injected",
+        "chunk_retries",
+        "arena_exhaustion_events",
+        "memory_pressure_relief",
+        "kv_evictions",
+        "memory_sheds",
+        "memory_breaker_trips",
+        "memory_breaker_rejections",
+        "circuit_breaker_trips",
+    )
+    return {
+        "arena_blocks": arena_blocks,
+        "counters": {k: int(summ.get(k, 0)) for k in keys},
+        "pressure": result.memory["pressure"],
+        "arena": result.memory["arena"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# The drill runner and its experiment wrapper.
+# ---------------------------------------------------------------------------
+
+
+def run_memory_drill(
+    scale: str = "quick",
+    seed: int = 0,
+    *,
+    out_path: str | os.PathLike | None = None,
+) -> dict:
+    """Run all three gates; write ``MEMORY_drill.json``; return the report."""
+    if out_path is None:
+        out_path = os.environ.get("SAMPLEATTN_MEMDRILL_OUT", "MEMORY_drill.json")
+    quick = scale == "quick"
+    model = build_model("glm-mini")
+
+    capacity = session_capacity(seed=seed)
+    if capacity["capacity_gain"] < CAPACITY_GAIN_FLOOR:
+        raise ReproError(
+            "prefix sharing fits only "
+            f"{capacity['capacity_gain']}x the contiguous session count "
+            f"(floor {CAPACITY_GAIN_FLOOR}x): {capacity}"
+        )
+    sharing = _engine_sharing_drill(model, seed, quick)
+    recovery = _pressure_recovery_drill(model, seed, quick)
+
+    report = {
+        "schema": "sampleattn-memory-drill/v1",
+        "scale": scale,
+        "seed": seed,
+        "capacity_gain_floor": CAPACITY_GAIN_FLOOR,
+        "capacity": capacity,
+        "engine_sharing": sharing,
+        "pressure_recovery": recovery,
+    }
+    if out_path:
+        Path(out_path).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    return report
+
+
+def run_memory(scale="quick", seed: int = 0) -> list[Table]:
+    """``sampleattn memory``: run the drill and render its report."""
+    scale_name = scale if isinstance(scale, str) else scale.name
+    report = run_memory_drill(scale_name, seed)
+    cap = report["capacity"]
+    t1 = Table(
+        "Memory drill gate 1: shared-prefix session capacity in one arena "
+        f"(floor {CAPACITY_GAIN_FLOOR}x, achieved {cap['capacity_gain']}x)",
+        ["metric", "value"],
+        notes=(
+            f"{cap['n_layers']} layers, {cap['prefix_tokens']}-token shared "
+            f"prefix + {cap['suffix_tokens']}-token private tail per "
+            f"session, {cap['arena_blocks']}-block arena"
+        ),
+    )
+    for key in (
+        "contiguous_sessions",
+        "paged_sessions",
+        "capacity_gain",
+        "registered_prefix_blocks",
+        "shared_blocks_at_peak",
+    ):
+        t1.add_row(key, cap[key])
+
+    sh = report["engine_sharing"]
+    t2 = Table(
+        "Memory drill gate 2: paged engine on a shared-prefix workload "
+        "(dense attention, outcomes bitwise-matched to contiguous)",
+        ["metric", "value"],
+        notes="arena peak vs the KV bytes the contiguous backend "
+        "materialised across the run",
+    )
+    for key in (
+        "n_requests",
+        "n_completed",
+        "prefix_cache_hits",
+        "prefix_tokens_reused",
+        "arena_peak_bytes",
+        "aggregate_contiguous_kv_bytes",
+    ):
+        t2.add_row(key, sh[key])
+
+    rec = report["pressure_recovery"]
+    t3 = Table(
+        "Memory drill gate 3: PR-2 fault drill on the paged engine "
+        f"({rec['arena_blocks']}-block arena, exhaustion bursts active)",
+        ["counter", "value"],
+        notes="all recovery invariants held; bitwise deterministic; "
+        "zero arena blocks leaked. JSON written to "
+        + (os.environ.get("SAMPLEATTN_MEMDRILL_OUT") or "MEMORY_drill.json"),
+    )
+    for key, value in rec["counters"].items():
+        t3.add_row(key, value)
+    return [t1, t2, t3]

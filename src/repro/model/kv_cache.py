@@ -96,6 +96,18 @@ class LayerKVCache:
         path) must first rewind every layer's cache to the pre-chunk length
         or positions would double-append.  Truncation only moves the live
         length; the overallocated arrays are reused by the retry.
+
+        Edge-case contract (validated, never clamped):
+
+        * ``truncate(0)`` empties the cache completely -- views become
+          zero-length, the accumulated attention statistic is cleared, and
+          a subsequent :meth:`append` may start at any position (the
+          monotonicity check has nothing to compare against).
+        * ``truncate(len(cache))`` is a no-op.
+        * ``length < 0`` or ``length > len(cache)`` raises
+          :class:`~repro.errors.ModelError` (a rollback mark can never
+          exceed the live length it was taken from, so an out-of-range
+          request is a caller bug, not a state to silently absorb).
         """
         if length < 0 or length > self._len:
             raise ModelError(

@@ -243,15 +243,22 @@ class Transformer:
         caches: list[LayerKVCache],
         *,
         kv_policy: H2OPolicy | None = None,
+        record_attention: bool = False,
     ) -> np.ndarray:
-        """Process one token; returns its ``(vocab,)`` logits."""
+        """Process one token; returns its ``(vocab,)`` logits.
+
+        ``record_attention=True`` accumulates each layer's attention mass
+        onto the caches' eviction statistic even without a ``kv_policy`` --
+        the serving engine uses this so heavy-hitter eviction under memory
+        pressure has scores to rank by.
+        """
         x = self.embed(np.asarray([token]))
         for i, layer in enumerate(self.layers):
             delta = layer.decode_step(
                 self._norm(x),
                 position,
                 caches[i],
-                record_attention=kv_policy is not None,
+                record_attention=record_attention or kv_policy is not None,
             )
             x = x + delta
             lw = layer.weights

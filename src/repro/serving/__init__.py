@@ -14,6 +14,12 @@ planning, and the :data:`DEGRADATION_LEVELS` ladder
 (sparse -> widened -> dense -> shed), audited by
 :func:`check_recovery_invariants`.
 
+The memory layer (``kv_backend="paged"``, see :mod:`repro.memory`) pools
+all KV in one arena with per-request block tables, copy-on-write prefix
+sharing, and a memory-pressure ladder (registry shrink -> live eviction ->
+quantize hook -> shed) behind a second :class:`CircuitBreaker` gating
+admissions.
+
 Public API::
 
     from repro.serving import (
@@ -31,6 +37,7 @@ Public API::
 from ..errors import DeadlineExceededError, FaultInjectionError
 from .engine import (
     DEGRADATION_LEVELS,
+    KV_BACKENDS,
     CircuitBreaker,
     EngineResult,
     ServingEngine,
@@ -70,6 +77,7 @@ __all__ = [
     "EngineResult",
     "CircuitBreaker",
     "DEGRADATION_LEVELS",
+    "KV_BACKENDS",
     "ChunkScheduler",
     "AdmissionQueue",
     "AdmissionOutcome",

@@ -53,7 +53,20 @@ from ..attention.flash import flash_attention
 from ..config import DEFAULT_CONFIG, KERNEL_MODES, SampleAttentionConfig
 from ..core.profiler import StageProfiler
 from ..core.sample_attention import plan_sample_attention, sample_attention
-from ..errors import ConfigError, FaultInjectionError, ReproError
+from ..errors import (
+    ArenaExhaustedError,
+    ConfigError,
+    FaultInjectionError,
+    ReproError,
+)
+from ..memory import (
+    EVICTION_POLICIES,
+    KVArena,
+    MemoryPressureController,
+    PagedLayerKVCache,
+    PrefixSharingRegistry,
+    make_eviction_policy,
+)
 from ..model.kv_cache import LayerKVCache
 from ..model.transformer import Transformer
 from ..perf.hardware import A100_80GB, HardwareSpec
@@ -70,10 +83,17 @@ __all__ = [
     "ServingEngine",
     "CircuitBreaker",
     "DEGRADATION_LEVELS",
+    "KV_BACKENDS",
 ]
 
 ENGINE_METHODS = ("sample", "flash")
 BILLING_MODES = ("measured", "roofline")
+
+#: KV storage backends: ``"contiguous"`` gives each request private dense
+#: arrays (:class:`~repro.model.kv_cache.LayerKVCache`); ``"paged"`` pools
+#: all KV in one :class:`~repro.memory.KVArena` with per-request block
+#: tables, prefix sharing, and the memory-pressure ladder.
+KV_BACKENDS = ("contiguous", "paged")
 
 #: The graceful-degradation ladder, most capable first.  ``"widened"``
 #: replans with a doubled local window, doubled stage-1 sampling, and a
@@ -159,6 +179,7 @@ class _Job:
     generated: list[int] = field(default_factory=list)
     level: str = "sparse"  # current degradation-ladder rung
     level_violations: int = 0  # consecutive CRA-guard trips at this rung
+    kv_released: bool = False  # paged backend: block refs already dropped
 
 
 @dataclass
@@ -178,11 +199,16 @@ class EngineResult:
         ``decode`` wall-clock plus kernel counters).  Wall-clock stage
         timings live here -- not in the deterministic telemetry summary --
         so same-seed runs still compare equal under roofline billing.
+    memory:
+        Paged-KV subsystem snapshot (``arena`` / ``sharing`` /
+        ``pressure`` stats dicts plus breaker state); empty dict on the
+        contiguous backend.
     """
 
     telemetry: MetricsRegistry
     method: str
     stages: dict = field(default_factory=dict)
+    memory: dict = field(default_factory=dict)
 
     @property
     def requests(self) -> list[RequestTelemetry]:
@@ -275,6 +301,30 @@ class ServingEngine:
         :data:`~repro.config.KERNEL_MODES`, defaulting to the config's
         ``kernel_mode``.  The fast/parallel paths reuse one engine-owned
         :class:`~repro.attention.KernelWorkspace` across chunks.
+    kv_backend:
+        One of :data:`KV_BACKENDS`.  ``"paged"`` stores all KV in one
+        :class:`~repro.memory.KVArena` (fresh per :meth:`run`), enables
+        copy-on-write prefix sharing across requests, and arms the memory
+        pressure ladder (registry shrink -> live eviction -> quantize hook
+        -> shed) plus a memory circuit breaker over admissions.
+    arena_blocks:
+        Arena capacity in blocks for the paged backend.  ``None``
+        auto-sizes to the run's worst-case demand (every request resident
+        simultaneously, no sharing), so default runs see no pressure;
+        passing a budget below that is how drills create pressure.
+    block_tokens:
+        Tokens per KV block (paging granularity).
+    prefix_sharing:
+        Enable the :class:`~repro.memory.PrefixSharingRegistry` (paged
+        backend only).
+    eviction_policy:
+        Live-eviction policy under pressure: one of
+        :data:`~repro.memory.EVICTION_POLICIES`.
+    memory_breaker_threshold, memory_breaker_cooldown_chunks:
+        Memory :class:`CircuitBreaker`: this many consecutive
+        arena-exhaustion chunks trip it open, and while open (for the
+        cooldown) new admissions are rejected outright -- backpressure at
+        the door instead of thrashing the eviction ladder.
     """
 
     def __init__(
@@ -304,6 +354,13 @@ class ServingEngine:
         breaker_cooldown_chunks: int = 8,
         execution: str = "striped",
         kernel_mode: str | None = None,
+        kv_backend: str = "contiguous",
+        arena_blocks: int | None = None,
+        block_tokens: int = 32,
+        prefix_sharing: bool = True,
+        eviction_policy: str = "heavy_hitter",
+        memory_breaker_threshold: int = 4,
+        memory_breaker_cooldown_chunks: int = 8,
     ) -> None:
         if method not in ENGINE_METHODS:
             raise ConfigError(
@@ -346,6 +403,23 @@ class ServingEngine:
             raise ConfigError(
                 f"kernel_mode must be one of {KERNEL_MODES}, got {kernel_mode!r}"
             )
+        if kv_backend not in KV_BACKENDS:
+            raise ConfigError(
+                f"kv_backend must be one of {KV_BACKENDS}, got {kv_backend!r}"
+            )
+        if arena_blocks is not None and arena_blocks < 1:
+            raise ConfigError(
+                f"arena_blocks must be >= 1, got {arena_blocks}"
+            )
+        if block_tokens < 1:
+            raise ConfigError(
+                f"block_tokens must be >= 1, got {block_tokens}"
+            )
+        if eviction_policy not in EVICTION_POLICIES:
+            raise ConfigError(
+                f"eviction_policy must be one of {EVICTION_POLICIES}, "
+                f"got {eviction_policy!r}"
+            )
         self.model = model
         self.method = method
         self.config = config
@@ -370,6 +444,19 @@ class ServingEngine:
         self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_chunks)
         self.execution = execution
         self.kernel_mode = kernel_mode
+        self.kv_backend = kv_backend
+        self.arena_blocks = arena_blocks
+        self.block_tokens = block_tokens
+        self.prefix_sharing = prefix_sharing
+        self.eviction_policy = eviction_policy
+        self.memory_breaker_threshold = memory_breaker_threshold
+        self.memory_breaker_cooldown_chunks = memory_breaker_cooldown_chunks
+        # Paged-KV state; created fresh per run() so same-seed runs (and
+        # the chaos drill's bitwise summary comparison) stay identical.
+        self._arena: KVArena | None = None
+        self._sharing: PrefixSharingRegistry | None = None
+        self._pressure: MemoryPressureController | None = None
+        self.memory_breaker: CircuitBreaker | None = None
         self._workspace = KernelWorkspace() if execution == "block" else None
         self._profiler = StageProfiler()
         # The "widened" ladder rung: double the window and the stage-1
@@ -399,13 +486,35 @@ class ServingEngine:
         n = self.executed_len(request)
         tokens = np.asarray(self.prompt_builder(request, n), dtype=np.int64)
         tm.executed_len = int(tokens.size)
+        start = 0
+        if self._arena is not None:
+            caches: list = [
+                PagedLayerKVCache(self._arena)
+                for _ in range(self.model.config.n_layers)
+            ]
+            if self._sharing is not None and tokens.size > 1:
+                # Cap adoption so at least one token always executes (the
+                # last chunk's logits seed decoding).
+                hit = self._sharing.lookup(
+                    tokens,
+                    max_blocks=(int(tokens.size) - 1) // self.block_tokens,
+                )
+                if hit is not None:
+                    blocks_per_layer, positions = hit
+                    for cache, blocks in zip(caches, blocks_per_layer):
+                        cache.adopt_shared(list(blocks), positions)
+                    start = int(positions.size)
+                    tm.shared_tokens = start
+                    self._registry.inc("prefix_cache_hits")
+                    self._registry.inc("prefix_tokens_reused", float(start))
+        else:
+            caches = self.model.new_caches(
+                capacity=int(tokens.size + request.decode_tokens + 1)
+            )
         chunks = [
             (c0, min(c0 + self.chunk_size, tokens.size))
-            for c0 in range(0, tokens.size, self.chunk_size)
+            for c0 in range(start, tokens.size, self.chunk_size)
         ]
-        caches = self.model.new_caches(
-            capacity=int(tokens.size + request.decode_tokens + 1)
-        )
         level = "sparse" if self.method == "sample" else "dense"
         tm.degradation_level = level
         return _Job(
@@ -417,6 +526,68 @@ class ServingEngine:
             telemetry=tm,
             level=level,
         )
+
+    # ----------------------------------------------------- paged KV memory
+    def _release_job_kv(self, job: _Job) -> None:
+        """Drop a paged job's block references exactly once (completion,
+        rejection, shed, or deadline drop), folding cache stats into its
+        telemetry first."""
+        if self._arena is None or job.kv_released:
+            return
+        job.kv_released = True
+        for cache in job.caches:
+            cache.release()
+
+    def _update_kv_peak(self, job: _Job) -> None:
+        if self._arena is None:
+            return
+        resident = sum(c.nbytes_resident for c in job.caches)
+        if resident > job.telemetry.kv_bytes_peak:
+            job.telemetry.kv_bytes_peak = resident
+
+    def _chunk_block_need(self, job: _Job) -> int:
+        """Blocks the next quantum of ``job`` could allocate: growth to the
+        chunk's end length per layer, plus one fork per layer (CoW on a
+        rollback into a shared tail block)."""
+        bt = self.block_tokens
+        if job.chunks_left:
+            end = job.chunks_left[0][1]
+        else:
+            end = job.position + 1
+        need = 0
+        for cache in job.caches:
+            need += max(0, -(-end // bt) - cache.n_blocks) + 1
+        return max(need, 1)
+
+    def _relieve_memory(self, job: _Job) -> bool:
+        """Walk the pressure ladder for ``job``'s next quantum.
+
+        Eviction candidates are decode-phase jobs only -- prefill caches
+        stay oracle-exact so the near-lossless story survives pressure.
+        Returns ``False`` when the ladder's terminal rung was reached (the
+        caller sheds ``job``)."""
+        assert self._pressure is not None
+        candidates: list[list] = []
+        cand_jobs: list[_Job] = []
+        for j in self._queue.items:
+            if j.chunks_left:  # prefill-phase: never evicted
+                continue
+            cand_jobs.append(j)
+            candidates.append(j.caches)
+        before = [
+            sum(int(c.evictions) for c in j.caches) for j in cand_jobs
+        ]
+        ok = self._pressure.relieve(candidates, self._chunk_block_need(job))
+        for j, n0 in zip(cand_jobs, before):
+            n1 = sum(int(c.evictions) for c in j.caches)
+            if n1 > n0:
+                # Evicted KV invalidates any cached plans built over it --
+                # a poisoned entry must not resurrect via extension either.
+                self.plan_cache.drop_request(j.request.request_id)
+                self._registry.inc("kv_evictions", float(n1 - n0))
+                j.telemetry.kv_evictions += n1 - n0
+        self._registry.inc("memory_pressure_relief" if ok else "memory_sheds")
+        return ok
 
     # ----------------------------------------------------- degradation ladder
     def _transition(self, job: _Job, to_level: str, reason: str) -> None:
@@ -574,6 +745,8 @@ class ServingEngine:
         registry = self._registry
         inj = self.fault_injector
         self.breaker.tick()
+        if self.memory_breaker is not None:
+            self.memory_breaker.tick()
         c0, c1 = job.chunks_left[0]
         chunk = job.chunk_index
 
@@ -592,50 +765,96 @@ class ServingEngine:
                     registry.inc("faults_injected")
                     registry.inc("fault_plan_poison")
 
+        # Fault hook: an arena-exhaustion burst reserves free blocks for
+        # the duration of this chunk's quantum (released in the finally).
+        if inj is not None and self._arena is not None:
+            frac = inj.arena_burst(rid, chunk)
+            if frac > 0.0:
+                take = int(frac * self._arena.blocks_free)
+                if take and self._arena.reserve(take):
+                    tm.faults_injected += 1
+                    registry.inc("faults_injected")
+                    registry.inc("fault_arena_exhaustion")
+
         must_fail = inj.attend_failures(rid, chunk) if inj is not None else 0
         n_layers = self.model.config.n_layers
         seconds = 0.0
         attempt = 0
-        while True:
-            marks = [len(c) for c in job.caches]
-            fail_at = (
-                inj.fail_layer(rid, chunk, attempt, n_layers)
-                if attempt < must_fail
-                else None
-            )
-            attend = self._attend(job, fail_at=fail_at)
-            t0 = time.perf_counter()
-            try:
-                x = self.model.prefill_chunk(
-                    job.tokens[c0:c1],
-                    np.arange(c0, c1, dtype=np.int64),
-                    job.caches,
-                    attend,
+        mem_attempts = 0
+        try:
+            while True:
+                marks = [len(c) for c in job.caches]
+                fail_at = (
+                    inj.fail_layer(rid, chunk, attempt, n_layers)
+                    if attempt < must_fail
+                    else None
                 )
-            except FaultInjectionError:
-                seconds += self._bill(job, time.perf_counter() - t0)
-                for cache, mark in zip(job.caches, marks):
-                    cache.truncate(mark)
-                if attempt >= self.max_retries:
-                    registry.inc("retry_exhausted")
-                    return seconds, False
-                tm.retries += 1
-                registry.inc("chunk_retries")
-                jitter = (
-                    inj.backoff_jitter(rid, chunk, attempt)
-                    if inj is not None
-                    else 1.0
-                )
-                seconds += self.retry_backoff_s * (2.0**attempt) * jitter
-                attempt += 1
-                continue
-            break
+                attend = self._attend(job, fail_at=fail_at)
+                t0 = time.perf_counter()
+                try:
+                    x = self.model.prefill_chunk(
+                        job.tokens[c0:c1],
+                        np.arange(c0, c1, dtype=np.int64),
+                        job.caches,
+                        attend,
+                    )
+                except ArenaExhaustedError:
+                    # Memory analogue of a transient fault: roll back, walk
+                    # the pressure ladder, retry under a bounded budget.
+                    seconds += self._bill(job, time.perf_counter() - t0)
+                    for cache, mark in zip(job.caches, marks):
+                        cache.truncate(mark)
+                    registry.inc("arena_exhaustion_events")
+                    assert self.memory_breaker is not None
+                    if self.memory_breaker.record_violation():
+                        registry.inc("memory_breaker_trips")
+                    if mem_attempts > self.max_retries or not (
+                        self._relieve_memory(job)
+                    ):
+                        registry.inc("retry_exhausted")
+                        return seconds, False
+                    tm.retries += 1
+                    registry.inc("chunk_retries")
+                    seconds += self.retry_backoff_s * (2.0**mem_attempts)
+                    mem_attempts += 1
+                    continue
+                except FaultInjectionError:
+                    seconds += self._bill(job, time.perf_counter() - t0)
+                    for cache, mark in zip(job.caches, marks):
+                        cache.truncate(mark)
+                    if attempt >= self.max_retries:
+                        registry.inc("retry_exhausted")
+                        return seconds, False
+                    tm.retries += 1
+                    registry.inc("chunk_retries")
+                    jitter = (
+                        inj.backoff_jitter(rid, chunk, attempt)
+                        if inj is not None
+                        else 1.0
+                    )
+                    seconds += self.retry_backoff_s * (2.0**attempt) * jitter
+                    attempt += 1
+                    continue
+                break
+        finally:
+            if self._arena is not None:
+                self._arena.release_reserved()
         wall = time.perf_counter() - t0
+        if self.memory_breaker is not None and mem_attempts == 0:
+            # A whole chunk without exhaustion: pressure has subsided.
+            self.memory_breaker.record_success()
         job.chunks_left.pop(0)
         if not job.chunks_left:
             # Prefill complete: the last row's logits yield the first token.
             job.next_token = int(np.argmax(self.model.logits(x[-1:])[0]))
             job.position = int(job.tokens.size)
+            if self._sharing is not None:
+                # Publish the full-block prefix before decode-phase
+                # eviction can touch these caches (registry holds refs, so
+                # the shared blocks outlive this donor request).
+                if self._sharing.register(job.tokens, job.caches):
+                    registry.inc("prefix_registrations")
+        self._update_kv_peak(job)
         job.chunk_index += 1
         bill = self._bill(job, wall)
         if inj is not None:
@@ -655,28 +874,62 @@ class ServingEngine:
             self._escalate(job, "cra_guard")
         return seconds, True
 
-    def _run_decode(self, job: _Job, steps: int) -> float:
-        """Execute ``steps`` greedy decode tokens; returns virtual seconds."""
+    def _run_decode(self, job: _Job, steps: int) -> tuple[float, bool]:
+        """Execute ``steps`` greedy decode tokens; returns ``(virtual
+        seconds, ok)``.  ``ok=False`` means the paged arena stayed
+        exhausted through the pressure ladder (the caller sheds)."""
         h_kv = self.model.config.n_kv_heads
         t0 = time.perf_counter()
         with self._profiler.stage("decode"):
-            self._decode_steps(job, steps, h_kv)
+            ok = self._decode_steps(job, steps, h_kv)
         wall = time.perf_counter() - t0
-        return self._bill(job, wall)
+        seconds = self._bill(job, wall)
+        self._update_kv_peak(job)
+        return seconds, ok
 
-    def _decode_steps(self, job: _Job, steps: int, h_kv: int) -> None:
+    def _decode_steps(self, job: _Job, steps: int, h_kv: int) -> bool:
+        # On the paged backend, decode records attention mass so the
+        # heavy-hitter eviction policy has scores to rank by (numerics of
+        # the decoded logits are unchanged by recording).
+        record = self._arena is not None
+        registry = self._registry
         for _ in range(steps):
             assert job.next_token is not None
             job.generated.append(job.next_token)
             job.elements += (
                 self.model.config.n_layers * h_kv * (len(job.caches[0]) + 1)
             )
-            logits = self.model.decode_step(
-                job.next_token, job.position, job.caches
-            )
+            mem_attempts = 0
+            while True:
+                marks = [len(c) for c in job.caches]
+                try:
+                    logits = self.model.decode_step(
+                        job.next_token,
+                        job.position,
+                        job.caches,
+                        record_attention=record,
+                    )
+                except ArenaExhaustedError:
+                    for cache, mark in zip(job.caches, marks):
+                        cache.truncate(mark)
+                    registry.inc("arena_exhaustion_events")
+                    assert self.memory_breaker is not None
+                    if self.memory_breaker.record_violation():
+                        registry.inc("memory_breaker_trips")
+                    if mem_attempts > self.max_retries or not (
+                        self._relieve_memory(job)
+                    ):
+                        registry.inc("retry_exhausted")
+                        return False
+                    job.telemetry.retries += 1
+                    registry.inc("chunk_retries")
+                    mem_attempts += 1
+                    continue
+                break
             job.next_token = int(np.argmax(logits))
             job.position += 1
             job.decode_left -= 1
+        return True
 
     # --------------------------------------------------------------- runner
     def run(self, requests: list[Request]) -> EngineResult:
@@ -688,6 +941,41 @@ class ServingEngine:
         queue: AdmissionQueue[_Job] = AdmissionQueue(
             self.max_queue, self.admission_policy
         )
+        self._queue = queue
+        if self.kv_backend == "paged":
+            cfg = self.model.config
+            bt = self.block_tokens
+            if self.arena_blocks is None:
+                # Auto-size to worst-case demand (everyone resident, no
+                # sharing) plus a fork block per layer: default runs see
+                # no pressure; drills pass a budget to create it.
+                need = sum(
+                    cfg.n_layers
+                    * (-(-(self.executed_len(r) + r.decode_tokens + 1) // bt))
+                    for r in pending
+                )
+                n_blocks = max(need + cfg.n_layers, 1)
+            else:
+                n_blocks = self.arena_blocks
+            self._arena = KVArena(n_blocks, cfg.n_kv_heads, bt, cfg.d_head)
+            self._sharing = (
+                PrefixSharingRegistry(self._arena)
+                if self.prefix_sharing
+                else None
+            )
+            self._pressure = MemoryPressureController(
+                self._arena,
+                self._sharing,
+                make_eviction_policy(self.eviction_policy),
+                min_keep_tokens=max(self.block_tokens, 1),
+            )
+            self.memory_breaker = CircuitBreaker(
+                self.memory_breaker_threshold,
+                self.memory_breaker_cooldown_chunks,
+            )
+        else:
+            self._arena = self._sharing = self._pressure = None
+            self.memory_breaker = None
         now = 0.0
         idx = 0
 
@@ -698,6 +986,7 @@ class ServingEngine:
             j.telemetry.outcome = outcome
             registry.inc(outcome)
             self.plan_cache.drop_request(j.request.request_id)
+            self._release_job_kv(j)
 
         def admit(until: float) -> None:
             nonlocal idx
@@ -705,6 +994,15 @@ class ServingEngine:
                 r = pending[idx]
                 idx += 1
                 tm = registry.new_request(r.request_id, r.arrival, r.prompt_len)
+                if (
+                    self.memory_breaker is not None
+                    and not self.memory_breaker.allow_sparse()
+                ):
+                    # Memory breaker open: backpressure at the door.
+                    tm.outcome = "rejected"
+                    registry.inc("rejected")
+                    registry.inc("memory_breaker_rejections")
+                    continue
                 job = self._make_job(r, tm)
                 outcome = queue.offer(job, sheddable=sheddable)
                 if outcome.shed is not None:
@@ -764,9 +1062,18 @@ class ServingEngine:
                     if self.scheduler.policy == "fcfs"
                     else min(job.decode_left, self.decode_chunk_tokens)
                 )
-                seconds = self._run_decode(job, steps)
+                seconds, ok = self._run_decode(job, steps)
                 now += seconds
                 tm.decode_seconds += seconds
+                if not ok:
+                    # Arena stayed exhausted through the pressure ladder:
+                    # terminal rung for this request.
+                    queue.remove(job)
+                    self._transition(job, "shed", "memory_pressure")
+                    tm.finish = now
+                    drop(job, "shed")
+                    admit(now)
+                    continue
 
             if not job.chunks_left and job.decode_left == 0:
                 queue.remove(job)
@@ -775,6 +1082,7 @@ class ServingEngine:
                 tm.outcome = "completed"
                 registry.inc("completed")
                 self.plan_cache.drop_request(job.request.request_id)
+                self._release_job_kv(job)
             else:
                 self.scheduler.rotate(queue.items)
             admit(now)
@@ -789,8 +1097,33 @@ class ServingEngine:
         # so they may join the counters the seeded drills compare.
         for name, value in self._profiler.counts.items():
             registry.inc(f"kernel_{name}", value)
+        memory: dict = {}
+        if self._arena is not None:
+            sharing_stats = (
+                self._sharing.stats() if self._sharing is not None else None
+            )
+            if self._sharing is not None:
+                self._sharing.clear()  # registry refs released at shutdown
+            assert self._pressure is not None
+            assert self.memory_breaker is not None
+            memory = {
+                "arena": self._arena.stats(),
+                "sharing": sharing_stats,
+                "pressure": self._pressure.stats(),
+                "memory_breaker_trips": self.memory_breaker.trips,
+            }
+            # Deterministic block-accounting counters join the registry so
+            # the seeded drills can compare them run to run.
+            registry.inc(
+                "arena_peak_blocks", float(self._arena.peak_blocks_in_use)
+            )
+            registry.inc("arena_forks", float(self._arena.forks))
+            registry.inc(
+                "arena_leaked_blocks", float(self._arena.blocks_in_use)
+            )
         return EngineResult(
             telemetry=registry,
             method=self.method,
             stages=self._profiler.report(),
+            memory=memory,
         )

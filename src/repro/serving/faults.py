@@ -20,7 +20,10 @@ seed and nothing else, where to hurt a run:
   request (exercising per-request deadlines);
 * **admission bursts** -- :func:`inject_admission_burst` splices a
   synchronized arrival spike into a workload (exercising bounded admission
-  and shedding).
+  and shedding);
+* **arena-exhaustion bursts** -- a fraction of the paged KV arena's free
+  blocks is reserved for the duration of a chunk (exercising the memory
+  pressure ladder: registry shrink, live eviction, and memory-shed).
 
 Every decision comes from a *keyed* RNG -- ``default_rng((seed, kind,
 request, chunk, ...))`` -- so two runs with the same seed inject the same
@@ -62,6 +65,10 @@ FAULT_KINDS = (
     "latency_spike",
     "straggler",
     "admission_burst",
+    # Appended last so the earlier kinds keep their stable ids; the
+    # retry-jitter stream (keyed at len(FAULT_KINDS)) shifts with it and
+    # stays collision-free.
+    "arena_exhaustion",
 )
 
 # Structural corruptions are caught by SparsePlan.validate(); semantic ones
@@ -189,6 +196,12 @@ class FaultInjector:
     p_straggler, straggler_multiplier:
         Per-request probability (decided once per request id) of a
         persistent slow-down applied to every chunk of that request.
+    p_arena_exhaustion, exhaustion_fraction:
+        Per-(request, chunk) probability that an arena-exhaustion burst
+        fires for the chunk, and the fraction of the arena's *free* blocks
+        reserved for its duration.  Only meaningful on the paged KV
+        backend; the engine releases the reservation when the chunk's
+        quantum ends, successful or not.
     """
 
     def __init__(
@@ -202,12 +215,16 @@ class FaultInjector:
         spike_multiplier: float = 8.0,
         p_straggler: float = 0.0,
         straggler_multiplier: float = 4.0,
+        p_arena_exhaustion: float = 0.0,
+        exhaustion_fraction: float = 0.75,
     ) -> None:
         for name, p in (
             ("p_attend_fault", p_attend_fault),
             ("p_plan_poison", p_plan_poison),
             ("p_latency_spike", p_latency_spike),
             ("p_straggler", p_straggler),
+            ("p_arena_exhaustion", p_arena_exhaustion),
+            ("exhaustion_fraction", exhaustion_fraction),
         ):
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"{name} must lie in [0, 1], got {p!r}")
@@ -226,6 +243,8 @@ class FaultInjector:
         self.spike_multiplier = spike_multiplier
         self.p_straggler = p_straggler
         self.straggler_multiplier = straggler_multiplier
+        self.p_arena_exhaustion = p_arena_exhaustion
+        self.exhaustion_fraction = exhaustion_fraction
 
     # ----------------------------------------------------------- decisions
     def attend_failures(self, request_id: int, chunk_index: int) -> int:
@@ -285,6 +304,16 @@ class FaultInjector:
             mult *= self.straggler_multiplier
         return mult
 
+    def arena_burst(self, request_id: int, chunk_index: int) -> float:
+        """Fraction of the arena's free blocks to reserve for this chunk
+        (0.0 = no burst).  The engine takes the reservation before the
+        chunk's first attempt and releases it when the quantum ends."""
+        rng = _rng(self.seed, _KIND_IDS["arena_exhaustion"], request_id,
+                   chunk_index)
+        if rng.uniform() >= self.p_arena_exhaustion:
+            return 0.0
+        return self.exhaustion_fraction
+
     def backoff_jitter(
         self, request_id: int, chunk_index: int, attempt: int
     ) -> float:
@@ -304,6 +333,8 @@ class FaultInjector:
             "spike_multiplier": self.spike_multiplier,
             "p_straggler": self.p_straggler,
             "straggler_multiplier": self.straggler_multiplier,
+            "p_arena_exhaustion": self.p_arena_exhaustion,
+            "exhaustion_fraction": self.exhaustion_fraction,
         }
 
 

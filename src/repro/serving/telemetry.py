@@ -82,6 +82,15 @@ class RequestTelemetry:
         dense fallback for that attention call.
     faults_injected:
         Fault-injection events that actually fired on this request.
+    shared_tokens:
+        Prompt tokens adopted from the prefix-sharing registry instead of
+        being prefetched (paged KV backend only; 0 elsewhere).
+    kv_bytes_peak:
+        Peak resident KV bytes this request's block tables referenced
+        (paged backend; shared blocks counted once per referencing table).
+    kv_evictions:
+        Live-eviction passes applied to this request's caches under
+        memory pressure.
     """
 
     request_id: int
@@ -104,6 +113,9 @@ class RequestTelemetry:
     retries: int = 0
     cra_violations: int = 0
     faults_injected: int = 0
+    shared_tokens: int = 0
+    kv_bytes_peak: int = 0
+    kv_evictions: int = 0
 
     @property
     def ttft(self) -> float | None:
@@ -152,6 +164,9 @@ class RequestTelemetry:
             "retries": self.retries,
             "cra_violations": self.cra_violations,
             "faults_injected": self.faults_injected,
+            "shared_tokens": self.shared_tokens,
+            "kv_bytes_peak": self.kv_bytes_peak,
+            "kv_evictions": self.kv_evictions,
         }
 
 
@@ -251,6 +266,18 @@ class MetricsRegistry:
             "circuit_breaker_trips": self.counter("circuit_breaker_trips"),
             "breaker_dense_chunks": self.counter("breaker_dense_chunks"),
             "faults_injected": self.counter("faults_injected"),
+            # Paged KV memory subsystem (all zero on the contiguous
+            # backend, keeping contiguous summaries backward-comparable).
+            "prefix_cache_hits": self.counter("prefix_cache_hits"),
+            "prefix_tokens_reused": self.counter("prefix_tokens_reused"),
+            "kv_evictions": self.counter("kv_evictions"),
+            "arena_exhaustion_events": self.counter("arena_exhaustion_events"),
+            "memory_pressure_relief": self.counter("memory_pressure_relief"),
+            "memory_breaker_trips": self.counter("memory_breaker_trips"),
+            "memory_breaker_rejections": self.counter(
+                "memory_breaker_rejections"
+            ),
+            "memory_sheds": self.counter("memory_sheds"),
         }
         return out
 

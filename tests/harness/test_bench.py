@@ -37,9 +37,12 @@ def test_report_schema_and_regression_tracking(tmp_path):
     )
     assert out.exists()
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "sampleattn-kernel-bench/v1"
+    assert on_disk["schema"] == "sampleattn-kernel-bench/v2"
     (case,) = report["cases"]
     assert case["previous_fast_seconds"] is None
+    assert case["previous_workspace_bytes_peak"] is None
+    assert case["workspace_bytes_peak"] > 0
+    assert report["workspace_bytes_peak"] == case["workspace_bytes_peak"]
     for key in ("flash", "reference", "fast"):
         assert case["seconds"][key] > 0.0
     assert case["max_abs_err_fast_vs_reference"] <= report["tolerance"]
@@ -56,6 +59,47 @@ def test_report_schema_and_regression_tracking(tmp_path):
         case["seconds"]["fast"]
     )
     assert case2["regression_vs_previous"] is not None
+    # Workspace bytes are deterministic: same workload, same peak.
+    assert case2["previous_workspace_bytes_peak"] == case["workspace_bytes_peak"]
+    assert case2["workspace_bytes_peak"] == case["workspace_bytes_peak"]
+
+
+def test_workspace_growth_gates(tmp_path):
+    out = tmp_path / "BENCH_kernel.json"
+    report = run_kernel_bench(
+        "quick", seed=0, out_path=out, enforce=False, reps=1, cases=TINY
+    )
+    # Shrink the recorded peak so the (deterministic) rerun looks like a
+    # workspace regression against the previous trajectory.
+    prior = json.loads(out.read_text())
+    prior["cases"][0]["workspace_bytes_peak"] = (
+        report["cases"][0]["workspace_bytes_peak"] - 1
+    )
+    out.write_text(json.dumps(prior))
+    with pytest.raises(ReproError, match="workspace grew"):
+        run_kernel_bench(
+            "quick", seed=0, out_path=out, enforce=False, reps=1, cases=TINY
+        )
+
+
+def test_workspace_gate_reads_v1_fast_stats(tmp_path):
+    out = tmp_path / "BENCH_kernel.json"
+    report = run_kernel_bench(
+        "quick", seed=0, out_path=out, enforce=False, reps=1, cases=TINY
+    )
+    # A v1-era file carried the bytes only inside fast_stats; the gate must
+    # still pick them up across the schema bump.
+    prior = json.loads(out.read_text())
+    case = prior["cases"][0]
+    case["fast_stats"]["workspace_bytes"] = (
+        report["cases"][0]["workspace_bytes_peak"] - 1
+    )
+    del case["workspace_bytes_peak"]
+    out.write_text(json.dumps(prior))
+    with pytest.raises(ReproError, match="workspace grew"):
+        run_kernel_bench(
+            "quick", seed=0, out_path=out, enforce=False, reps=1, cases=TINY
+        )
 
 
 def test_numeric_divergence_fails(tmp_path, monkeypatch):

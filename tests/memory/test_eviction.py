@@ -1,0 +1,104 @@
+"""Tests for paged-KV live-eviction policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import (
+    EVICTION_POLICIES,
+    HeavyHitterPolicy,
+    KVArena,
+    LRUBlockPolicy,
+    PagedLayerKVCache,
+    make_eviction_policy,
+)
+
+H, D, BT = 2, 8, 4
+
+
+def filled_cache(n_tokens, seed=0):
+    arena = KVArena(32, H, BT, D)
+    cache = PagedLayerKVCache(arena)
+    rng = np.random.default_rng(seed)
+    k = rng.standard_normal((H, n_tokens, D)).astype(np.float32)
+    v = rng.standard_normal((H, n_tokens, D)).astype(np.float32)
+    cache.append(k, v, np.arange(n_tokens, dtype=np.int64))
+    return arena, cache
+
+
+class TestFactory:
+    def test_registry_names(self):
+        for name in EVICTION_POLICIES:
+            assert make_eviction_policy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown eviction policy"):
+            make_eviction_policy("fifo")
+
+
+class TestHeavyHitter:
+    def test_keeps_heaviest_keys(self):
+        _, cache = filled_cache(16)
+        # Concentrate attention mass on positions 2 and 5 for every head.
+        probs = np.zeros((H, 1, 16))
+        probs[:, 0, 2] = 10.0
+        probs[:, 0, 5] = 8.0
+        cache.record_attention(probs)
+        keep = HeavyHitterPolicy(recent_fraction=0.5).select(cache, 4)
+        assert keep is not None
+        for ix in keep:
+            assert len(ix) == 4
+            assert 2 in ix and 5 in ix  # heavy hitters survive
+            assert 15 in ix  # recency window keeps the newest key
+
+    def test_none_when_at_or_below_target(self):
+        _, cache = filled_cache(8)
+        assert HeavyHitterPolicy().select(cache, 8) is None
+        assert HeavyHitterPolicy().select(cache, 12) is None
+
+    def test_rejects_bad_target(self):
+        _, cache = filled_cache(8)
+        with pytest.raises(ConfigError):
+            HeavyHitterPolicy().select(cache, 0)
+
+    def test_rejects_bad_recent_fraction(self):
+        with pytest.raises(ConfigError):
+            HeavyHitterPolicy(recent_fraction=1.5)
+
+    def test_selection_feeds_evict(self):
+        arena, cache = filled_cache(4 * BT)
+        cache.record_attention(
+            np.random.default_rng(1).random((H, 1, 4 * BT))
+        )
+        keep = HeavyHitterPolicy().select(cache, BT)
+        cache.evict(keep)
+        assert len(cache) == BT
+        assert arena.blocks_in_use == 1
+
+
+class TestLRUBlock:
+    def test_keeps_newest_whole_blocks(self):
+        _, cache = filled_cache(4 * BT)
+        keep = LRUBlockPolicy().select(cache, 2 * BT + 1)
+        assert keep is not None
+        expected = np.arange(2 * BT, 4 * BT)  # rounded down to 2 blocks
+        for ix in keep:
+            np.testing.assert_array_equal(ix, expected)
+
+    def test_always_keeps_one_block(self):
+        _, cache = filled_cache(3 * BT)
+        keep = LRUBlockPolicy().select(cache, 1)
+        for ix in keep:
+            assert len(ix) == BT
+
+    def test_none_when_at_or_below_target(self):
+        _, cache = filled_cache(8)
+        assert LRUBlockPolicy().select(cache, 8) is None
+
+    def test_needs_no_statistics(self):
+        # Works on a cache that never recorded attention.
+        arena, cache = filled_cache(4 * BT)
+        keep = LRUBlockPolicy().select(cache, BT)
+        cache.evict(keep)
+        assert len(cache) == BT
+        assert arena.blocks_in_use == 1

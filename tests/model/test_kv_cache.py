@@ -48,6 +48,62 @@ class TestAppend:
             LayerKVCache(0, 4)
 
 
+class TestTruncate:
+    """Pins the validated edge-case contract of ``truncate``."""
+
+    def test_truncate_to_zero_empties_cache(self):
+        cache = LayerKVCache(2, 4)
+        fill(cache, 5)
+        cache.truncate(0)
+        assert len(cache) == 0
+        assert cache.keys.shape == (2, 0, 4)
+        assert cache.positions.shape == (0,)
+
+    def test_append_after_truncate_to_zero_at_any_position(self):
+        # An emptied cache has no last position; appends may restart anywhere.
+        cache = LayerKVCache(1, 2)
+        fill(cache, 5, h=1, d=2)
+        cache.truncate(0)
+        fill(cache, 2, h=1, d=2, start=3)
+        assert len(cache) == 2
+        np.testing.assert_array_equal(cache.positions, [3, 4])
+
+    def test_truncate_to_full_length_is_noop(self):
+        cache = LayerKVCache(2, 4)
+        k, v = fill(cache, 4)
+        cache.truncate(4)
+        assert len(cache) == 4
+        np.testing.assert_array_equal(cache.keys, k)
+        np.testing.assert_array_equal(cache.values, v)
+
+    def test_truncate_rejects_negative(self):
+        cache = LayerKVCache(1, 2)
+        fill(cache, 3, h=1, d=2)
+        with pytest.raises(ModelError):
+            cache.truncate(-1)
+
+    def test_truncate_rejects_past_length(self):
+        cache = LayerKVCache(1, 2)
+        fill(cache, 3, h=1, d=2)
+        with pytest.raises(ModelError):
+            cache.truncate(4)
+
+    def test_truncate_clears_eviction_statistic(self):
+        cache = LayerKVCache(1, 4)
+        fill(cache, 3, h=1)
+        cache.record_attention(np.ones((1, 1, 3)))
+        cache.truncate(1)
+        np.testing.assert_allclose(cache._acc[0, 1:3], 0.0)
+        np.testing.assert_allclose(cache._acc[0, 0], 1.0)
+
+    def test_truncate_on_empty_cache(self):
+        cache = LayerKVCache(1, 2)
+        cache.truncate(0)
+        assert len(cache) == 0
+        with pytest.raises(ModelError):
+            cache.truncate(1)
+
+
 class TestAttentionRecording:
     def test_accumulates_grouped(self):
         cache = LayerKVCache(2, 4)

@@ -357,6 +357,7 @@ class TestCorruptPlan:
             "latency_spike",
             "straggler",
             "admission_burst",
+            "arena_exhaustion",
         }
         assert len(CORRUPTION_MODES) == len(set(CORRUPTION_MODES))
 

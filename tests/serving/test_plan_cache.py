@@ -139,6 +139,63 @@ class TestPlanCache:
         assert len(cache) == 1
         assert cache.stats.evictions == 3
 
+    def test_poison_then_drop_request_does_not_resurrect(self, plan):
+        """A poisoned entry whose request's KV got evicted must be gone.
+
+        Under memory pressure the engine evicts a request's KV blocks and
+        calls ``drop_request``; a semantically poisoned plan (structurally
+        valid, so ``get`` would happily re-geometry it via ``extended``)
+        must not survive that eviction and resurface on the retry path.
+        """
+        cache = PlanCache(replan_interval=100)
+        for layer in range(3):
+            cache.put(7, layer, plan, chunk_index=0)
+
+        # Semantic poison: shrink the window -- still passes validate().
+        def corrupt(layer, p):
+            return dataclasses.replace(p, window=1)
+
+        assert cache.poison(7, corrupt) == 3
+        poisoned = cache.get(7, 0, chunk_index=1, s_q=plan.s_q, s_k=plan.s_k)
+        assert poisoned is not None and poisoned.window == 1  # handed out
+
+        cache.drop_request(7)  # the engine's response to KV eviction
+        for layer in range(3):
+            got = cache.get(
+                7, layer, chunk_index=1, s_q=plan.s_q, s_k=plan.s_k + 32
+            )
+            assert got is None  # no extended() reuse of the poisoned plan
+        assert cache.stats.poisoned == 3
+        assert cache.stats.evictions == 3
+
+        # A fresh plan stored after eviction is served clean.
+        cache.put(7, 0, plan, chunk_index=2)
+        clean = cache.get(7, 0, chunk_index=3, s_q=plan.s_q, s_k=plan.s_k)
+        assert clean is plan and clean.window == plan.window
+
+    def test_invalidate_poisoned_entry_blocks_extended_reuse(self, plan):
+        """The runtime-guard path: ``invalidate`` after a poisoned plan trips
+        the CRA guard must prevent the next chunk's ``extended`` reuse."""
+        cache = PlanCache(replan_interval=100)
+        cache.put(8, 0, plan, chunk_index=0)
+        cache.poison(8, lambda layer, p: dataclasses.replace(p, window=1))
+        assert cache.invalidate(8, 0) is True
+        assert (
+            cache.get(8, 0, chunk_index=1, s_q=plan.s_q, s_k=plan.s_k + 16)
+            is None
+        )
+        assert cache.invalidate(8, 0) is False  # already gone, idempotent
+
+    def test_drop_request_after_put_get_cycle_under_growth(self, plan):
+        """Eviction wins over staleness-window reuse: even inside the replan
+        interval and staleness bound, a dropped request always misses."""
+        cache = PlanCache(replan_interval=100, max_stale_tokens=1024)
+        cache.put(9, 0, plan, chunk_index=0)
+        grown = cache.get(9, 0, chunk_index=1, s_q=32, s_k=plan.s_k + 64)
+        assert grown is not None and grown.s_k == plan.s_k + 64
+        cache.drop_request(9)
+        assert cache.get(9, 0, chunk_index=1, s_q=32, s_k=plan.s_k + 64) is None
+
     def test_stats_as_dict(self, plan):
         cache = PlanCache()
         cache.put(0, 0, plan, chunk_index=0)
