@@ -101,6 +101,11 @@ class LRUBlockPolicy(EvictionPolicy):
         # keep at least one block's worth so decode retains local context.
         keep = max(block, (target_tokens // block) * block)
         keep = min(keep, s)
+        if keep >= s:
+            # Rounding to whole blocks left nothing to drop (cache exceeds
+            # target by less than one block): a release-and-rewrite that
+            # frees zero blocks is pure churn, so report "cannot shrink".
+            return None
         idx = np.arange(s - keep, s, dtype=np.int64)
         h = cache._acc.shape[0]
         return [idx.copy() for _ in range(h)]

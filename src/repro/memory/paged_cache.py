@@ -50,6 +50,11 @@ class PagedLayerKVCache:
         )
         self._scratch_k: np.ndarray | None = None
         self._scratch_v: np.ndarray | None = None
+        # Staged (uncommitted) attention mass of the in-flight decode
+        # step: applied to ``_acc`` by :meth:`commit_attention`, discarded
+        # by rollback (truncate/release) -- see record_attention.
+        self._staged_acc: np.ndarray | None = None
+        self._staged_len = 0
         #: Tokens adopted from the prefix-sharing registry at creation.
         self.shared_tokens = 0
         #: Eviction passes applied to this cache (telemetry).
@@ -218,6 +223,7 @@ class PagedLayerKVCache:
             self.arena.decref(self._blocks.pop())
         self._acc[:, length : self._len] = 0.0
         self._len = length
+        self.discard_staged_attention()
 
     def release(self) -> None:
         """Drop every block reference (request finished or shed)."""
@@ -225,11 +231,21 @@ class PagedLayerKVCache:
             self.arena.decref(self._blocks.pop())
         self._acc[:, : self._len] = 0.0
         self._len = 0
+        self.discard_staged_attention()
 
     # ------------------------------------------------------------- attention
     def record_attention(self, probs: np.ndarray) -> None:
-        """Accumulate decode-step attention mass ``(H_q, 1, len)`` (the
-        heavy-hitter eviction statistic), summing grouped query heads."""
+        """Stage decode-step attention mass ``(H_q, 1, len)`` (the
+        heavy-hitter eviction statistic), summing grouped query heads.
+
+        Unlike the contiguous cache, the mass is *staged* rather than
+        applied: a decode step can fail mid-model (arena exhaustion in a
+        later layer) after this layer already recorded, and ``truncate``
+        can roll back the appended token but not an in-place ``+=`` on the
+        retained prefix -- retries would then double-count the step's
+        mass.  :meth:`commit_attention` applies the staged mass once the
+        full step succeeds; rollback (truncate/release/evict) discards it.
+        """
         if probs.ndim != 3 or probs.shape[2] != self._len:
             raise ModelError(
                 f"record_attention: probs shape {probs.shape} vs len "
@@ -244,7 +260,25 @@ class PagedLayerKVCache:
             .reshape(h_kv, h_q // h_kv, self._len)
             .sum(axis=1)
         )
-        self._acc[:, : self._len] += grouped
+        if self._staged_acc is not None and self._staged_len == self._len:
+            self._staged_acc += grouped
+        else:
+            self._staged_acc = grouped
+            self._staged_len = self._len
+
+    def commit_attention(self) -> None:
+        """Apply staged attention mass to the eviction statistic (called
+        after the decode step that recorded it fully succeeds)."""
+        if self._staged_acc is None:
+            return
+        self._acc[:, : self._staged_len] += self._staged_acc
+        self._staged_acc = None
+        self._staged_len = 0
+
+    def discard_staged_attention(self) -> None:
+        """Drop staged attention mass (step rolled back before commit)."""
+        self._staged_acc = None
+        self._staged_len = 0
 
     # -------------------------------------------------------------- eviction
     def evict(self, keep_per_head: list[np.ndarray]) -> None:
@@ -263,6 +297,26 @@ class PagedLayerKVCache:
         new_len = sizes.pop()
         if new_len > self._len:
             raise ModelError("evict: keep set larger than cache")
+        bt = self.arena.block_tokens
+        # Atomicity pre-check: release() only returns blocks whose last
+        # reference is ours, so CoW-shared blocks (refcount above our own
+        # reference count) free nothing.  If the blocks we would net-free
+        # plus the current free list cannot cover the rewrite, fail BEFORE
+        # destroying any state -- the pressure controller skips this
+        # victim and tries the next rung instead.
+        held: dict[int, int] = {}
+        for bid in self._blocks:
+            held[bid] = held.get(bid, 0) + 1
+        would_free = sum(
+            1 for bid, n in held.items() if self.arena.refcount(bid) == n
+        )
+        need = (new_len + bt - 1) // bt
+        if self.arena.blocks_free + would_free < need:
+            raise ArenaExhaustedError(
+                f"evict: rewrite needs {need} blocks but releasing this "
+                f"table nets {would_free} (shared blocks) with "
+                f"{self.arena.blocks_free} free"
+            )
         keys, values = self._views()
         new_k = np.stack([keys[h, keep_per_head[h]] for h in range(h_kv)])
         new_v = np.stack([values[h, keep_per_head[h]] for h in range(h_kv)])
@@ -271,10 +325,9 @@ class PagedLayerKVCache:
         )
         new_pos = self._pos[keep_per_head[0]].copy()
         # Free first, then reallocate: the gather above copied the data
-        # out, and freeing makes room so shrinking can never exhaust the
-        # arena it is relieving.
+        # out, and the pre-check guarantees freeing makes enough room for
+        # the rewrite.
         self.release()
-        bt = self.arena.block_tokens
         arena = self.arena
         t = 0
         while t < new_len:

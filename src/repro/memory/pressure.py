@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..errors import ConfigError
+from ..errors import ArenaExhaustedError, ConfigError
 from .arena import KVArena
 from .eviction import EvictionPolicy
 from .sharing import PrefixSharingRegistry
@@ -97,6 +97,7 @@ class MemoryPressureController:
         self.exhaustion_events = 0
         self.registry_blocks_dropped = 0
         self.caches_evicted = 0
+        self.evictions_skipped = 0
         self.quantize_calls = 0
         self.shed_signals = 0
 
@@ -152,7 +153,16 @@ class MemoryPressureController:
                 keep = self.policy.select(cache, target)
                 if keep is None:
                     continue
-                cache.evict(keep)
+                try:
+                    cache.evict(keep)
+                except ArenaExhaustedError:
+                    # A victim whose blocks are CoW-shared may net-free
+                    # fewer blocks than its rewrite needs; evict() fails
+                    # atomically (victim intact), and the ladder moves on
+                    # to the next candidate / rung instead of crashing
+                    # the engine with a half-destroyed cache.
+                    self.evictions_skipped += 1
+                    continue
                 self.caches_evicted += 1
         if self.arena.blocks_free >= need_blocks:
             self.level = "normal"
@@ -181,6 +191,7 @@ class MemoryPressureController:
             "exhaustion_events": self.exhaustion_events,
             "registry_blocks_dropped": self.registry_blocks_dropped,
             "caches_evicted": self.caches_evicted,
+            "evictions_skipped": self.evictions_skipped,
             "quantize_calls": self.quantize_calls,
             "shed_signals": self.shed_signals,
         }

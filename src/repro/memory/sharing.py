@@ -58,17 +58,26 @@ def prefix_block_keys(tokens: np.ndarray, block_tokens: int) -> list[str]:
 class _Entry:
     """One registered prefix: per-layer block ids plus bookkeeping."""
 
-    __slots__ = ("per_layer_blocks", "n_blocks", "positions", "hits", "stamp")
+    __slots__ = (
+        "per_layer_blocks",
+        "n_blocks",
+        "positions",
+        "keys",
+        "hits",
+        "stamp",
+    )
 
     def __init__(
         self,
         per_layer_blocks: list[list[int]],
         positions: np.ndarray,
+        keys: list[str],
         stamp: int,
     ) -> None:
         self.per_layer_blocks = per_layer_blocks
         self.n_blocks = len(per_layer_blocks[0])
         self.positions = positions
+        self.keys = keys  # chain key per covered block (for key rebuilds)
         self.hits = 0
         self.stamp = stamp
 
@@ -181,6 +190,7 @@ class PrefixSharingRegistry:
         entry = _Entry(
             per_layer,
             np.asarray(caches[0].positions[: n_full * bt]).copy(),
+            keys,
             self._clock,
         )
         self._entries[keys[-1]] = entry
@@ -202,9 +212,16 @@ class PrefixSharingRegistry:
         for layer_blocks in entry.per_layer_blocks:
             for bid in layer_blocks:
                 self.arena.decref(bid)
-        self._by_key = {
-            k: v for k, v in self._by_key.items() if v[0] is not entry
-        }
+        # Rebuild the prefix-key map from the survivors: the dropped entry
+        # may have claimed sub-prefix keys that older still-registered
+        # entries also cover ("longest registration wins" on register), and
+        # simply deleting its keys would orphan those entries' prefixes.
+        # Registration order is preserved by dict insertion order, so the
+        # rebuild reproduces the same winner among the survivors.
+        self._by_key = {}
+        for e in self._entries.values():
+            for i, key in enumerate(e.keys):
+                self._by_key[key] = (e, i + 1)
         return entry.n_blocks * len(entry.per_layer_blocks)
 
     def shrink(self, n_entries: int = 1) -> int:

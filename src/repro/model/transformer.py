@@ -264,6 +264,14 @@ class Transformer:
             lw = layer.weights
             if lw.mlp_w1 is not None:
                 x = x + gated_mlp(self._norm(x), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3)
+        # Paged caches stage recorded attention mass; committing only after
+        # every layer ran keeps a mid-model failure + rollback + retry from
+        # double-counting the step (contiguous caches apply immediately and
+        # have no commit hook).
+        for cache in caches:
+            commit = getattr(cache, "commit_attention", None)
+            if commit is not None:
+                commit()
         if kv_policy is not None:
             for cache in caches:
                 if len(cache) > kv_policy.budget:

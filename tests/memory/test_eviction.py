@@ -44,6 +44,7 @@ class TestHeavyHitter:
         probs[:, 0, 2] = 10.0
         probs[:, 0, 5] = 8.0
         cache.record_attention(probs)
+        cache.commit_attention()
         keep = HeavyHitterPolicy(recent_fraction=0.5).select(cache, 4)
         assert keep is not None
         for ix in keep:
@@ -70,6 +71,7 @@ class TestHeavyHitter:
         cache.record_attention(
             np.random.default_rng(1).random((H, 1, 4 * BT))
         )
+        cache.commit_attention()
         keep = HeavyHitterPolicy().select(cache, BT)
         cache.evict(keep)
         assert len(cache) == BT
@@ -94,6 +96,17 @@ class TestLRUBlock:
     def test_none_when_at_or_below_target(self):
         _, cache = filled_cache(8)
         assert LRUBlockPolicy().select(cache, 8) is None
+
+    def test_none_when_rounding_leaves_nothing_to_drop(self):
+        # The one-block floor can round the keep count up to the full
+        # cache length; a full keep set would trigger a release-and-
+        # rewrite that frees zero blocks, so the policy must report
+        # "cannot shrink" instead.
+        _, cache = filled_cache(BT)
+        assert LRUBlockPolicy().select(cache, BT - 1) is None
+        # A cache smaller than one block can never shrink either.
+        _, small = filled_cache(BT - 1)
+        assert LRUBlockPolicy().select(small, 1) is None
 
     def test_needs_no_statistics(self):
         # Works on a cache that never recorded attention.

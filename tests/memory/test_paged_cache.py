@@ -109,6 +109,7 @@ class TestTruncateContract:
         arena, paged = make_pair()
         fill(paged, 4)
         paged.record_attention(np.full((4, 1, 4), 0.25))
+        paged.commit_attention()
         paged.truncate(2)
         assert float(paged._acc[:, 2:].sum()) == 0.0
 
@@ -225,6 +226,24 @@ class TestEvict:
         paged.evict([np.arange(2) for _ in range(H)])
         assert arena.blocks_in_use == 1
 
+    def test_evict_atomic_when_shared_blocks_cannot_net_free(self):
+        # All of the victim's blocks are CoW-shared (refcount 2), so
+        # releasing them frees nothing; with the arena dry the rewrite
+        # cannot allocate.  evict() must fail BEFORE destroying the
+        # victim, not after.
+        arena = KVArena(4, H, BT, D)
+        donor = PagedLayerKVCache(arena)
+        k, *_ = fill(donor, 4 * BT)  # arena fully allocated
+        adopter = PagedLayerKVCache(arena)
+        adopter.adopt_shared(list(donor.block_ids), donor.positions.copy())
+        keep = [np.arange(BT) for _ in range(H)]
+        with pytest.raises(ArenaExhaustedError, match="nets"):
+            adopter.evict(keep)
+        # Victim fully intact: same length, same blocks, same data.
+        assert len(adopter) == 4 * BT
+        assert adopter.block_ids == donor.block_ids
+        np.testing.assert_array_equal(adopter.keys, k)
+
     def test_evict_validation(self):
         arena, paged = make_pair()
         fill(paged, 8)
@@ -242,6 +261,24 @@ class TestRecordAttention:
         fill(paged, 4)
         probs = np.full((4, 1, 4), 0.25)  # H_q=4 over H_kv=2
         paged.record_attention(probs)
+        # Mass is staged until the decode step commits.
+        np.testing.assert_allclose(paged._acc[:, :4], 0.0)
+        paged.commit_attention()
+        np.testing.assert_allclose(paged._acc[:, :4], 0.5)
+
+    def test_rollback_discards_staged_mass(self):
+        # A decode step that fails mid-model after this layer recorded must
+        # not double-count on retry: truncate discards the staged mass.
+        arena, paged = make_pair()
+        fill(paged, 4)
+        paged.record_attention(np.full((4, 1, 4), 0.25))
+        paged.commit_attention()
+        k = np.ones((2, 1, 8), dtype=np.float32)
+        paged.append(k, k, np.asarray([4]))
+        paged.record_attention(np.full((4, 1, 5), 0.2))  # failed attempt
+        paged.truncate(4)  # rollback to the pre-step mark
+        np.testing.assert_allclose(paged._acc[:, :4], 0.5)  # unchanged
+        paged.commit_attention()  # nothing staged: no-op
         np.testing.assert_allclose(paged._acc[:, :4], 0.5)
 
     def test_rejects_wrong_length(self):
@@ -249,3 +286,41 @@ class TestRecordAttention:
         fill(paged, 4)
         with pytest.raises(ModelError):
             paged.record_attention(np.zeros((4, 1, 5)))
+
+    def test_failed_decode_step_does_not_double_count(self, glm_mini):
+        # Exhaust the arena mid-model (a later layer's append) after
+        # earlier layers already attended: the engine-style rollback +
+        # retry must leave the heavy-hitter statistic identical to an
+        # uninterrupted run -- recorded mass commits only with the step.
+        cfg = glm_mini.config
+        bt, steps = 4, 6
+
+        def run(n_blocks, squeeze_at=None):
+            arena = KVArena(n_blocks, cfg.n_kv_heads, bt, cfg.d_head)
+            caches = [PagedLayerKVCache(arena) for _ in range(cfg.n_layers)]
+            token = 3
+            for step in range(steps):
+                if step == squeeze_at:
+                    # Leave one free block: layer 0 allocates it at the
+                    # block boundary, a later layer's append then raises.
+                    assert arena.reserve(arena.blocks_free - 1) > 0
+                    marks = [len(c) for c in caches]
+                    with pytest.raises(ArenaExhaustedError):
+                        glm_mini.decode_step(
+                            token, step, caches, record_attention=True
+                        )
+                    for c, mark in zip(caches, marks):
+                        c.truncate(mark)
+                    arena.release_reserved()
+                logits = glm_mini.decode_step(
+                    token, step, caches, record_attention=True
+                )
+                token = int(np.argmax(logits))
+            return token, [c._acc[:, : len(c)].copy() for c in caches]
+
+        # Squeeze exactly at the block boundary (len bt -> bt + 1).
+        clean_token, clean_acc = run(4 * cfg.n_layers)
+        squeezed_token, squeezed_acc = run(4 * cfg.n_layers, squeeze_at=bt)
+        assert squeezed_token == clean_token
+        for a, b in zip(clean_acc, squeezed_acc):
+            np.testing.assert_array_equal(a, b)

@@ -105,6 +105,23 @@ class TestLadder:
         assert ctl.level == "shed" and ctl.peak_level == "shed"
         assert ctl.shed_signals == 1
 
+    def test_shared_victim_sheds_instead_of_crashing(self):
+        # Every candidate block is CoW-shared, so eviction under a dry
+        # arena cannot net-free blocks: evict() fails atomically and the
+        # ladder must absorb it (skip the victim, walk to shed) rather
+        # than let ArenaExhaustedError escape relieve() with a destroyed
+        # cache behind it.
+        arena, _, ctl = make_controller(n_blocks=4, registry=False)
+        donor = PagedLayerKVCache(arena)
+        fill(donor, 4 * BT)
+        adopter = PagedLayerKVCache(arena)
+        adopter.adopt_shared(list(donor.block_ids), donor.positions.copy())
+        assert ctl.relieve([[adopter]], need_blocks=1) is False
+        assert len(adopter) == 4 * BT and len(donor) == 4 * BT  # intact
+        assert ctl.evictions_skipped == 1
+        assert ctl.caches_evicted == 0
+        assert ctl.level == "shed"
+
     def test_level_resets_after_successful_relief(self):
         arena, _, ctl = make_controller(n_blocks=4, registry=False)
         cache = PagedLayerKVCache(arena)

@@ -178,6 +178,30 @@ class TestShrink:
         assert reg.clear() == 6
         assert arena.blocks_in_use == 0 and len(reg) == 0
 
+    def test_drop_restores_overlapping_sub_prefix_keys(self):
+        # Entries A and B share their first block but diverge after, so
+        # B's (newer) registration overwrites the shared first-block key.
+        # Dropping B must re-point that key at the still-registered A,
+        # not orphan it -- otherwise requests sharing only the common
+        # first block lose sharing even though A still holds the refs.
+        arena, reg = make_registry(max_entries=8)
+        common = np.arange(BT, dtype=np.int64)
+        a = np.concatenate([common, 100 + np.arange(BT, dtype=np.int64)])
+        b = np.concatenate([common, 200 + np.arange(BT, dtype=np.int64)])
+        reg.register(a, filled_caches(arena, a, seed=0))
+        reg.register(b, filled_caches(arena, b, seed=1))
+        reg.lookup(a)  # A stays reachable via its own full key: B is LRU
+        assert reg.shrink(1) == 4  # drops B (2 blocks x 2 layers)
+        # A fresh request sharing only the common first block must still
+        # match it through the surviving entry A.
+        probe = np.concatenate(
+            [common, 300 + np.arange(BT, dtype=np.int64)]
+        )
+        found = reg.lookup(probe)
+        assert found is not None
+        blocks, positions = found
+        assert len(blocks[0]) == 1 and positions.size == BT
+
     def test_rejects_bad_max_entries(self):
         arena = KVArena(4, H, BT, D)
         with pytest.raises(ConfigError):
