@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.perf",
     "repro.tasks",
     "repro.serving",
+    "repro.serving.fleet",
     "repro.harness",
     "repro.audit",
 ]

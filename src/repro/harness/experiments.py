@@ -52,6 +52,12 @@ def _run_memory(scale="quick", seed: int = 0):
     from .memdrill import run_memory
 
     return run_memory(scale=scale, seed=seed)
+
+
+def _run_fleet(scale="quick", seed: int = 0):
+    from .fleetdrill import run_fleet
+
+    return run_fleet(scale=scale, seed=seed)
 from .methods import METHOD_NAMES, make_backend
 from .tables import Table
 
@@ -882,23 +888,39 @@ def run_chaos(scale="quick", seed: int = 0) -> list[Table]:
     and *assert* the recovery guarantees instead of just reporting them.
 
     The injector fires four fault kinds (transient attend failures,
-    plan-cache corruption, latency spikes, stragglers) and the workload
-    carries a synchronized admission burst -- five of the fault model's
-    kinds in one run.  The drill fails (raises
+    plan-cache corruption, latency spikes, stragglers) plus slow chunks,
+    and the workload carries a synchronized admission burst -- six of the
+    fault model's kinds in one run.  The drill fails (raises
     :class:`~repro.errors.ReproError`, a non-zero CLI exit) when any
     admitted request fails to reach a terminal state, when a request
     completes with a runtime CRA-guard violation that was not answered by
     a recorded dense fallback, or when a second run with the same seed
     does not reproduce bitwise-identical telemetry counters.
+
+    ``SAMPLEATTN_CHAOS_ENGINE=fleet`` serves the identical workload
+    through a 2-worker :class:`~repro.serving.fleet.FleetEngine` instead
+    of a single engine -- same per-request invariants, same determinism
+    bar -- so CI proves the fleet preserves single-engine chaos
+    semantics.
     """
+    import os
+
     from ..errors import ReproError
     from ..serving import (
         FaultInjector,
+        FleetEngine,
         ServingEngine,
         check_recovery_invariants,
         inject_admission_burst,
         poisson_workload,
     )
+
+    engine_kind = os.environ.get("SAMPLEATTN_CHAOS_ENGINE", "single")
+    if engine_kind not in ("single", "fleet"):
+        raise ConfigError(
+            f"SAMPLEATTN_CHAOS_ENGINE={engine_kind!r}; expected 'single' "
+            "or 'fleet'"
+        )
 
     sc = _scale(scale)
     quick = sc.name == "quick"
@@ -923,25 +945,45 @@ def run_chaos(scale="quick", seed: int = 0) -> list[Table]:
         spike_multiplier=6.0,
         p_straggler=0.25,
         straggler_multiplier=3.0,
+        p_slow_chunk=0.15,
+        slow_chunk_multiplier=4.0,
     )
     mdl = build_model(sc.models[0])
 
+    engine_kwargs = dict(
+        method="sample",
+        chunk_size=96 if quick else 256,
+        length_scale=32 if quick else 16,
+        billing="roofline",
+        max_retries=2,
+        degrade_after=2,
+        breaker_threshold=3,
+        breaker_cooldown_chunks=4,
+        seed=seed,
+    )
+
     def drill():
+        if engine_kind == "fleet":
+            # Same workload, same adversary, same admission semantics --
+            # lifted to the fleet front door over two workers.
+            fleet = FleetEngine(
+                mdl,
+                n_workers=2,
+                transport="inline",
+                max_queue=6,
+                admission_policy="shed_oldest",
+                fault_injector=injector,
+                deadline_s=4.0,
+                **engine_kwargs,
+            )
+            return fleet.run(list(requests))
         engine = ServingEngine(
             mdl,
-            method="sample",
-            chunk_size=96 if quick else 256,
-            length_scale=32 if quick else 16,
-            billing="roofline",
             max_queue=6,
             admission_policy="shed_oldest",
             fault_injector=injector,
             deadline_s=4.0,
-            max_retries=2,
-            degrade_after=2,
-            breaker_threshold=3,
-            breaker_cooldown_chunks=4,
-            seed=seed,
+            **engine_kwargs,
         )
         return engine.run(list(requests))
 
@@ -960,9 +1002,13 @@ def run_chaos(scale="quick", seed: int = 0) -> list[Table]:
         )
 
     summ = result.summary()
+    engine_label = (
+        "2-worker fleet" if engine_kind == "fleet" else "single engine"
+    )
     t1 = Table(
-        f"Chaos drill survived ({sc.models[0]}, seed={seed}): fault and "
-        "recovery counters (deterministic, bitwise-identical across runs)",
+        f"Chaos drill survived ({sc.models[0]}, {engine_label}, "
+        f"seed={seed}): fault and recovery counters (deterministic, "
+        "bitwise-identical across runs)",
         ["counter", "value"],
         notes=(
             "injector: "
@@ -1035,6 +1081,7 @@ EXPERIMENTS = {
     "serve": (run_serve, "Executed serving engine vs simulator prediction"),
     "chaos": (run_chaos, "Fault-injection drill: engine recovery under chaos"),
     "memory": (_run_memory, "Memory drill: paged-KV capacity + pressure recovery"),
+    "fleet": (_run_fleet, "Fleet drill: multi-worker crash recovery + isolation"),
     "bench": (_run_bench, "Kernel bench: execution paths + BENCH_kernel.json"),
     "audit": (_run_audit, "Differential audit: geometry fuzz + AUDIT.json"),
 }

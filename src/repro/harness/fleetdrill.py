@@ -1,0 +1,486 @@
+"""Fleet drill: the supervised multi-worker layer's recovery gates.
+
+``sampleattn fleet`` drives a 3-worker :class:`~repro.serving.FleetEngine`
+through the same adversarial regime the PR-2 chaos drill pioneered and
+*asserts* the fleet's claims instead of just reporting them:
+
+* **Crash recovery** -- the chaos workload (Poisson stream + admission
+  burst) served under engine faults *and* fleet faults (``worker_crash``,
+  ``worker_stall``, ``heartbeat_loss``) must see at least
+  :data:`CRASH_FLOOR` worker crashes, recover every one of them with
+  zero lost and zero duplicated requests, keep every recovery invariant,
+  honour deadline semantics on completed requests, and reproduce a
+  bitwise-identical result from the same seed.
+* **Breaker isolation** -- plan poison sticky-routed onto one worker must
+  trip that worker's circuit breaker without a single dense fallback
+  chunk on any clean worker: per-worker degradation never becomes
+  fleet-wide.
+* **Single-engine parity** -- under latency-only faults (no crashes, no
+  poison, no deadline) the 3-worker fleet must reproduce the single
+  engine's per-request semantics exactly: outcome, generated tokens,
+  retries, plan cache behaviour, and CRA verdicts all equal.
+
+Results land in ``FLEET_drill.json`` (``$SAMPLEATTN_FLEETDRILL_OUT``
+overrides the path, ``""`` disables writing) so CI can upload the drill
+summary as an artifact.  Any gate failure raises
+:class:`~repro.errors.ReproError` -- a non-zero CLI exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ReproError
+from ..model import build_model
+from .tables import Table
+
+__all__ = [
+    "CRASH_FLOOR",
+    "run_fleet_drill",
+    "run_fleet",
+]
+
+#: Gate 1 fails below this many injected-and-recovered worker crashes.
+CRASH_FLOOR = 3
+
+
+def _chaos_workload(seed: int, quick: bool):
+    from ..serving import inject_admission_burst, poisson_workload
+
+    rng = np.random.default_rng(seed)
+    requests = poisson_workload(
+        rng,
+        rate_per_s=3.0 if quick else 2.0,
+        duration_s=2.0 if quick else 8.0,
+        prompt_lens=(8192, 16384),
+        decode_tokens=2,
+    )
+    return inject_admission_burst(
+        requests, seed=seed, at=0.25, n=3 if quick else 6, prompt_len=16384,
+        decode_tokens=1,
+    )
+
+
+def _engine_kwargs(seed: int, quick: bool) -> dict:
+    """The PR-2 chaos engine configuration, minus the fleet-owned keys."""
+    return dict(
+        method="sample",
+        chunk_size=96 if quick else 256,
+        length_scale=32 if quick else 16,
+        billing="roofline",
+        max_retries=2,
+        degrade_after=2,
+        breaker_threshold=3,
+        breaker_cooldown_chunks=4,
+        seed=seed,
+    )
+
+
+def _canon(result) -> str:
+    """Canonical bytes of a fleet result for bitwise comparison."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: crash recovery on the chaos workload, worker faults active.
+# ---------------------------------------------------------------------------
+
+
+def _crash_recovery_drill(model, seed: int, quick: bool) -> dict:
+    from ..serving import (
+        FaultInjector,
+        FleetEngine,
+        check_recovery_invariants,
+    )
+
+    requests = _chaos_workload(seed, quick)
+    deadline_s = 4.0
+    injector = FaultInjector(
+        seed,
+        # the PR-2 engine adversary...
+        p_attend_fault=0.3,
+        max_transient_failures=2,
+        p_plan_poison=0.35,
+        p_latency_spike=0.2,
+        spike_multiplier=6.0,
+        p_straggler=0.25,
+        straggler_multiplier=3.0,
+        p_slow_chunk=0.15,
+        slow_chunk_multiplier=4.0,
+        # ...plus the fleet fault kinds this PR adds
+        p_worker_crash=0.25,
+        p_worker_stall=0.1,
+        worker_stall_multiplier=8.0,
+        p_heartbeat_loss=0.05,
+    )
+
+    def drill():
+        fleet = FleetEngine(
+            model,
+            n_workers=3,
+            transport="inline",
+            max_queue=6,
+            admission_policy="shed_oldest",
+            deadline_s=deadline_s,
+            max_redispatch=2,
+            heartbeat_interval_s=0.02,
+            restart_backoff_s=0.02,
+            max_restarts=3,
+            fault_injector=injector,
+            **_engine_kwargs(seed, quick),
+        )
+        return fleet.run(list(requests))
+
+    result = drill()
+    if _canon(result) != _canon(drill()):
+        raise ReproError(
+            "fleet drill not deterministic: same seed, different results"
+        )
+
+    crashes = int(result.telemetry.counter("fleet_worker_crashes"))
+    if crashes < CRASH_FLOOR:
+        raise ReproError(
+            f"fleet drill injected only {crashes} worker crashes "
+            f"(floor {CRASH_FLOOR}); retune the injector"
+        )
+    # zero lost: every workload request has exactly one telemetry record
+    want = sorted(r.request_id for r in requests)
+    got = sorted(tm.request_id for tm in result.requests)
+    if got != want:
+        raise ReproError(
+            f"fleet drill lost or invented requests: {len(got)} records "
+            f"for {len(want)} submitted"
+        )
+    # zero duplicated: outcome counters agree with per-request records,
+    # so no request completed (or shed) more than once
+    summ = result.summary()
+    for outcome in ("completed", "rejected", "shed", "deadline_exceeded"):
+        records = sum(1 for tm in result.requests if tm.outcome == outcome)
+        counted = int(result.telemetry.counter(outcome))
+        if records != counted:
+            raise ReproError(
+                f"fleet drill double-counted {outcome!r}: {counted} "
+                f"counter ticks for {records} requests"
+            )
+    for tm in result.requests:
+        if tm.outcome == "completed" and tm.finish - tm.arrival > deadline_s:
+            raise ReproError(
+                f"request {tm.request_id} completed past its deadline: "
+                f"{tm.finish - tm.arrival:.3f}s > {deadline_s}s"
+            )
+    breaches = check_recovery_invariants(result)
+    if breaches:
+        raise ReproError(
+            "fleet drill breached recovery invariants:\n  "
+            + "\n  ".join(breaches)
+        )
+
+    sup = result.fleet["supervisor"]
+    keys = (
+        "n_requests",
+        "n_completed",
+        "n_rejected",
+        "n_shed",
+        "n_deadline_exceeded",
+        "faults_injected",
+        "chunk_retries",
+        "circuit_breaker_trips",
+    )
+    counters = {k: int(summ.get(k, 0)) for k in keys}
+    for k in (
+        "fleet_worker_crashes",
+        "fleet_redispatches",
+        "fleet_redispatch_exhausted",
+        "fleet_worker_restarts",
+        "fleet_heartbeat_deaths",
+        "fleet_stale_completions_fenced",
+        "fault_worker_stall",
+        "fault_heartbeat_loss",
+    ):
+        counters[k] = int(result.telemetry.counter(k))
+    return {
+        "deadline_s": deadline_s,
+        "counters": counters,
+        "supervisor": {
+            "deaths": sup["deaths"],
+            "restarts": sup["restarts"],
+            "n_stopped": sup["n_stopped"],
+        },
+        "router": {
+            "rung": result.fleet["router"]["rung"],
+            "rung_transitions": len(
+                result.fleet["router"]["rung_transitions"]
+            ),
+        },
+        "workers": [
+            {
+                "worker_id": w["worker_id"],
+                "executions": w["executions"],
+                "delivered": w["delivered"],
+            }
+            for w in result.workers
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: per-worker breaker isolation under sticky-routed poison.
+# ---------------------------------------------------------------------------
+
+
+def _breaker_isolation_drill(model, seed: int, quick: bool) -> dict:
+    from ..serving import FaultInjector, FleetEngine, Request
+
+    class _SemanticPoison(FaultInjector):
+        """Keyed like ``plan_poison`` but always the semantic corruption:
+        structural poisons die in cache validation before ever reaching
+        the CRA guard, and this gate is about guard-driven breaker trips."""
+
+        def poison_mode(self, rid, chunk):
+            mode = super().poison_mode(rid, chunk)
+            return "share_undercut" if mode is not None else None
+
+    injector = _SemanticPoison(seed, p_plan_poison=0.15)
+    n = 9 if quick else 15
+    requests = [
+        Request(request_id=i, arrival=1.0 * i, prompt_len=8192,
+                decode_tokens=2)
+        for i in range(n)
+    ]
+    kwargs = _engine_kwargs(seed, quick)
+    kwargs["degrade_after"] = 100  # keep requests on the sparse rung
+    kwargs["breaker_threshold"] = 1  # any poisoned chunk trips
+    # generous bound on chunk indices one request can consult
+    n_chunks = 8192 // kwargs["length_scale"] // kwargs["chunk_size"] + 8
+
+    # Ground truth from the injector's own keyed streams: which requests
+    # will poison at least one chunk.  Sticky-route those to one session.
+    hot = {
+        r.request_id
+        for r in requests
+        if any(
+            injector.poison_mode(r.request_id, c) is not None
+            for c in range(n_chunks)
+        )
+    }
+    if not hot or len(hot) == len(requests):
+        raise ReproError(
+            "breaker isolation drill needs a mix of poisoned and clean "
+            f"requests; got {len(hot)}/{len(requests)} poisoned"
+        )
+
+    fleet = FleetEngine(
+        model,
+        n_workers=3,
+        transport="inline",
+        routing_policy="sticky",
+        session_of=lambda r: (
+            "hot" if r.request_id in hot else f"clean-{r.request_id}"
+        ),
+        max_queue=n,
+        fault_injector=injector,
+        **kwargs,
+    )
+    result = fleet.run(list(requests))
+    if not all(tm.outcome == "completed" for tm in result.requests):
+        raise ReproError(
+            "breaker isolation drill expected every request to complete"
+        )
+
+    trips = [
+        int(w["counters"].get("circuit_breaker_trips", 0))
+        for w in result.workers
+    ]
+    dense = [
+        int(w["counters"].get("breaker_dense_chunks", 0))
+        for w in result.workers
+    ]
+    tripped = [i for i, t in enumerate(trips) if t > 0]
+    if len(tripped) != 1:
+        raise ReproError(
+            f"poison was sticky-routed to one worker but {len(tripped)} "
+            f"workers tripped their breaker: {trips}"
+        )
+    hot_worker = tripped[0]
+    for wid in range(3):
+        if wid != hot_worker and dense[wid] > 0:
+            raise ReproError(
+                f"clean worker {wid} served {dense[wid]} breaker-forced "
+                "dense chunks: per-worker degradation leaked fleet-wide"
+            )
+    return {
+        "n_requests": len(requests),
+        "n_poisoned_requests": len(hot),
+        "hot_worker": hot_worker,
+        "trips_per_worker": trips,
+        "breaker_dense_chunks_per_worker": dense,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate 3: per-request parity with the single engine.
+# ---------------------------------------------------------------------------
+
+#: Per-request fields that must agree between fleet and single engine.
+_PARITY_FIELDS = (
+    "outcome",
+    "executed_len",
+    "generated",
+    "retries",
+    "cra_violations",
+    "plan_hits",
+    "plan_misses",
+    "plan_fallbacks",
+    "faults_injected",
+    "kept_kv_ratios",
+)
+
+
+def _parity_drill(model, seed: int, quick: bool) -> dict:
+    from ..serving import FaultInjector, FleetEngine, Request, ServingEngine
+
+    # Latency-only adversary: stretches the clock, never changes results.
+    injector = FaultInjector(
+        seed,
+        p_latency_spike=0.3,
+        spike_multiplier=6.0,
+        p_straggler=0.25,
+        straggler_multiplier=3.0,
+        p_slow_chunk=0.25,
+        slow_chunk_multiplier=4.0,
+    )
+    n = 8 if quick else 14
+    requests = [
+        Request(request_id=i, arrival=0.05 * i, prompt_len=8192,
+                decode_tokens=2)
+        for i in range(n)
+    ]
+    kwargs = _engine_kwargs(seed, quick)
+
+    single = ServingEngine(
+        model, max_queue=n, fault_injector=injector, **kwargs
+    ).run(list(requests))
+    fleet = FleetEngine(
+        model, n_workers=3, transport="inline", max_queue=n,
+        fault_injector=injector, **kwargs,
+    ).run(list(requests))
+
+    by_id = {tm.request_id: tm for tm in fleet.requests}
+    mismatches = []
+    for s_tm in single.requests:
+        f_tm = by_id.get(s_tm.request_id)
+        if f_tm is None:
+            mismatches.append(f"request {s_tm.request_id} missing from fleet")
+            continue
+        for name in _PARITY_FIELDS:
+            if getattr(s_tm, name) != getattr(f_tm, name):
+                mismatches.append(
+                    f"request {s_tm.request_id} {name}: single="
+                    f"{getattr(s_tm, name)!r} fleet={getattr(f_tm, name)!r}"
+                )
+    if mismatches:
+        raise ReproError(
+            "fleet diverged from single-engine semantics:\n  "
+            + "\n  ".join(mismatches[:10])
+        )
+    return {
+        "n_requests": n,
+        "parity_fields": list(_PARITY_FIELDS),
+        "n_completed_single": int(single.summary()["n_completed"]),
+        "n_completed_fleet": int(fleet.summary()["n_completed"]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The drill runner and its experiment wrapper.
+# ---------------------------------------------------------------------------
+
+
+def run_fleet_drill(
+    scale: str = "quick",
+    seed: int = 0,
+    *,
+    out_path: str | os.PathLike | None = None,
+) -> dict:
+    """Run all three gates; write ``FLEET_drill.json``; return the report."""
+    if out_path is None:
+        out_path = os.environ.get("SAMPLEATTN_FLEETDRILL_OUT", "FLEET_drill.json")
+    quick = scale == "quick"
+    model = build_model("glm-mini")
+
+    recovery = _crash_recovery_drill(model, seed, quick)
+    isolation = _breaker_isolation_drill(model, seed, quick)
+    parity = _parity_drill(model, seed, quick)
+
+    report = {
+        "schema": "sampleattn-fleet-drill/v1",
+        "scale": scale,
+        "seed": seed,
+        "n_workers": 3,
+        "crash_floor": CRASH_FLOOR,
+        "crash_recovery": recovery,
+        "breaker_isolation": isolation,
+        "single_engine_parity": parity,
+    }
+    if out_path:
+        Path(out_path).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    return report
+
+
+def run_fleet(scale="quick", seed: int = 0) -> list[Table]:
+    """``sampleattn fleet``: run the drill and render its report."""
+    scale_name = scale if isinstance(scale, str) else scale.name
+    report = run_fleet_drill(scale_name, seed)
+
+    rec = report["crash_recovery"]
+    t1 = Table(
+        "Fleet drill gate 1: crash recovery on a 3-worker fleet "
+        f"(>= {CRASH_FLOOR} crashes, zero lost, zero duplicated, "
+        "bitwise deterministic)",
+        ["counter", "value"],
+        notes=(
+            f"supervisor: {rec['supervisor']['deaths']} deaths, "
+            f"{rec['supervisor']['restarts']} restarts, "
+            f"{rec['supervisor']['n_stopped']} stopped; final rung "
+            f"{rec['router']['rung']}"
+        ),
+    )
+    for key, value in rec["counters"].items():
+        t1.add_row(key, value)
+
+    iso = report["breaker_isolation"]
+    t2 = Table(
+        "Fleet drill gate 2: breaker isolation under sticky-routed poison "
+        f"(hot worker {iso['hot_worker']}, clean workers untouched)",
+        ["worker", "breaker_trips", "breaker_dense_chunks"],
+        notes=(
+            f"{iso['n_poisoned_requests']}/{iso['n_requests']} requests "
+            "poisoned and pinned to one session"
+        ),
+    )
+    for wid, (t, d) in enumerate(
+        zip(iso["trips_per_worker"], iso["breaker_dense_chunks_per_worker"])
+    ):
+        t2.add_row(wid, t, d)
+
+    par = report["single_engine_parity"]
+    t3 = Table(
+        "Fleet drill gate 3: per-request parity with the single engine "
+        "(latency-only faults)",
+        ["metric", "value"],
+        notes="fields compared: " + ", ".join(par["parity_fields"]),
+    )
+    t3.add_row("n_requests", par["n_requests"])
+    t3.add_row("n_completed_single", par["n_completed_single"])
+    t3.add_row("n_completed_fleet", par["n_completed_fleet"])
+    t3.add_row(
+        "report",
+        os.environ.get("SAMPLEATTN_FLEETDRILL_OUT") or "FLEET_drill.json",
+    )
+    return [t1, t2, t3]

@@ -20,6 +20,14 @@ sharing, and a memory-pressure ladder (registry shrink -> live eviction ->
 quantize hook -> shed) behind a second :class:`CircuitBreaker` gating
 admissions.
 
+The fleet layer (:mod:`repro.serving.fleet`) supervises N engine workers
+behind one :class:`~repro.serving.router.Router` front door: heartbeat
+health states (:data:`HEALTH_STATES`), crash detection with bounded
+exponential-backoff restart, epoch-fenced re-dispatch of in-flight
+requests, and a fleet-level degradation rung (:data:`FLEET_RUNGS`,
+``normal -> reroute -> brownout -> shed``) above each worker's
+per-request ladder.
+
 Public API::
 
     from repro.serving import (
@@ -31,6 +39,9 @@ Public API::
         FaultInjector, corrupt_plan, CORRUPTION_MODES, FAULT_KINDS,
         inject_admission_burst, check_recovery_invariants,
         FaultInjectionError, DeadlineExceededError,
+        FleetEngine, FleetResult, EngineWorker, FLEET_TRANSPORTS,
+        Router, ROUTING_POLICIES, FLEET_RUNGS,
+        Supervisor, WorkerHealth, HEALTH_STATES,
     )
 """
 
@@ -52,7 +63,9 @@ from .faults import (
     corrupt_plan,
     inject_admission_burst,
 )
+from .fleet import FLEET_TRANSPORTS, EngineWorker, FleetEngine, FleetResult
 from .plan_cache import CachedPlan, PlanCache, PlanCacheStats
+from .router import FLEET_RUNGS, ROUTING_POLICIES, Router
 from .scheduler import (
     ADMISSION_POLICIES,
     SCHEDULER_NAMES,
@@ -66,6 +79,7 @@ from .simulator import (
     ServingSimulator,
     poisson_workload,
 )
+from .supervisor import HEALTH_STATES, Supervisor, WorkerHealth
 from .telemetry import TERMINAL_OUTCOMES, MetricsRegistry, RequestTelemetry
 
 __all__ = [
@@ -99,4 +113,14 @@ __all__ = [
     "check_recovery_invariants",
     "FaultInjectionError",
     "DeadlineExceededError",
+    "FleetEngine",
+    "FleetResult",
+    "EngineWorker",
+    "FLEET_TRANSPORTS",
+    "Router",
+    "ROUTING_POLICIES",
+    "FLEET_RUNGS",
+    "Supervisor",
+    "WorkerHealth",
+    "HEALTH_STATES",
 ]

@@ -118,6 +118,13 @@ class CircuitBreaker:
     it straight back open.  This is the stop-loss between "one poisoned
     plan" and "every request pays planning cost for plans the guard will
     reject anyway".
+
+    Half-open admits exactly **one** in-flight probe: the first
+    :meth:`allow_sparse` arms it, and until that probe resolves (success,
+    violation, or the next :meth:`tick` reclaiming an abandoned probe)
+    every other caller is refused.  Without the cap a burst of concurrent
+    probes could close the breaker on a single success while sibling
+    probes are still failing -- the classic half-open thundering herd.
     """
 
     def __init__(self, threshold: int = 4, cooldown_chunks: int = 8) -> None:
@@ -133,13 +140,21 @@ class CircuitBreaker:
         self.trips = 0
         self._consecutive = 0
         self._cooldown_left = 0
+        self._probing = False
 
     def allow_sparse(self) -> bool:
-        return self.state != "open"
+        if self.state == "open":
+            return False
+        if self.state == "half_open":
+            if self._probing:
+                return False
+            self._probing = True
+        return True
 
     def record_violation(self) -> bool:
         """One CRA-guard violation; returns ``True`` when this trips the
         breaker open."""
+        self._probing = False
         self._consecutive += 1
         if self.state == "half_open" or self._consecutive >= self.threshold:
             self.state = "open"
@@ -150,16 +165,22 @@ class CircuitBreaker:
         return False
 
     def record_success(self) -> None:
+        self._probing = False
         self._consecutive = 0
         if self.state == "half_open":
             self.state = "closed"
 
     def tick(self) -> None:
-        """One executed chunk elapsed (cooldown clock)."""
+        """One executed chunk elapsed (cooldown clock).  In half-open this
+        also reclaims a probe whose caller never reported back (e.g. the
+        probing chunk died mid-flight), so one lost probe cannot wedge the
+        breaker half-open forever."""
         if self.state == "open":
             self._cooldown_left -= 1
             if self._cooldown_left <= 0:
                 self.state = "half_open"
+        elif self.state == "half_open":
+            self._probing = False
 
 
 @dataclass
@@ -220,6 +241,26 @@ class EngineResult:
 
     def summary(self) -> dict:
         return self.telemetry.summary()
+
+    def to_dict(self) -> dict:
+        """Lossless JSON form (stable key ordering); inverse of
+        :meth:`from_dict`.  This is how worker results cross the
+        fleet's process boundary."""
+        return {
+            "telemetry": self.telemetry.to_dict(),
+            "method": self.method,
+            "stages": self.stages,
+            "memory": self.memory,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineResult":
+        return cls(
+            telemetry=MetricsRegistry.from_dict(data["telemetry"]),
+            method=str(data["method"]),
+            stages=dict(data.get("stages", {})),
+            memory=dict(data.get("memory", {})),
+        )
 
 
 class ServingEngine:
@@ -868,6 +909,16 @@ class ServingEngine:
                 registry.inc("fault_straggler_chunks")
             bill *= inj.latency_multiplier(rid, chunk)
         seconds += bill
+        if inj is not None:
+            # A slow chunk stretches the whole quantum -- retries, backoff,
+            # and the successful attempt alike (a latency spike scales only
+            # the successful bill above).
+            slow = inj.slow_factor(rid, chunk)
+            if slow > 1.0:
+                tm.faults_injected += 1
+                registry.inc("faults_injected")
+                registry.inc("fault_slow_chunk")
+                seconds *= slow
         if job.level in _SPARSE_LEVELS and (
             job.level_violations >= self.degrade_after
         ):
@@ -932,11 +983,32 @@ class ServingEngine:
         return True
 
     # --------------------------------------------------------------- runner
+    def reset(self) -> None:
+        """Restore fresh-process state: what a worker restart gives you.
+
+        Clears the plan cache (entries *and* stats) and re-arms the
+        breaker and kernel workspace.  Engine configuration, the model,
+        and the seed are untouched, so a reset engine replays a workload
+        identically to a newly constructed one -- the property the fleet's
+        crash-recovery determinism rests on.
+        """
+        self.plan_cache.clear()
+        self.breaker = CircuitBreaker(
+            self.breaker.threshold, self.breaker.cooldown_chunks
+        )
+        if self._workspace is not None:
+            self._workspace = KernelWorkspace()
+        self._profiler = StageProfiler()
+
     def run(self, requests: list[Request]) -> EngineResult:
         """Serve the stream; every request ends completed/rejected/shed."""
         registry = MetricsRegistry()
         self._registry = registry
         self._profiler = StageProfiler()  # fresh stage breakdown per run
+        # Cache stats are cumulative over the engine's lifetime; fold only
+        # this run's delta into its registry (a fleet worker serves many
+        # single-request runs on one engine).
+        stats0 = dict(self.plan_cache.stats.as_dict())
         pending = sorted(requests, key=lambda r: (r.arrival, r.request_id))
         queue: AdmissionQueue[_Job] = AdmissionQueue(
             self.max_queue, self.admission_policy
@@ -1087,12 +1159,16 @@ class ServingEngine:
                 self.scheduler.rotate(queue.items)
             admit(now)
 
-        # hits/misses were streamed live; fold in the remaining cache stats.
+        # hits/misses were streamed live; fold in the remaining cache stats
+        # (as deltas against the run-start snapshot).
         stats = self.plan_cache.stats
-        registry.inc("plan_cache_stores", float(stats.stores))
-        registry.inc("plan_cache_invalid", float(stats.invalid))
-        registry.inc("plan_cache_evictions", float(stats.evictions))
-        registry.inc("plan_cache_poisoned", float(stats.poisoned))
+        for name, attr in (
+            ("plan_cache_stores", "stores"),
+            ("plan_cache_invalid", "invalid"),
+            ("plan_cache_evictions", "evictions"),
+            ("plan_cache_poisoned", "poisoned"),
+        ):
+            registry.inc(name, float(getattr(stats, attr) - stats0[attr]))
         # Kernel execution-path counts are deterministic (unlike timings),
         # so they may join the counters the seeded drills compare.
         for name, value in self._profiler.counts.items():

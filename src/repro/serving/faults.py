@@ -23,7 +23,19 @@ seed and nothing else, where to hurt a run:
   and shedding);
 * **arena-exhaustion bursts** -- a fraction of the paged KV arena's free
   blocks is reserved for the duration of a chunk (exercising the memory
-  pressure ladder: registry shrink, live eviction, and memory-shed).
+  pressure ladder: registry shrink, live eviction, and memory-shed);
+* **slow chunks** -- a chunk's entire virtual-clock quantum (including
+  retries and backoff, unlike a latency spike) is multiplied by an
+  injected factor (exercising deadline/retry paths under slowness rather
+  than errors);
+* **fleet faults** -- worker crashes partway through an execution
+  (exercising supervised restart, ledger drain, and epoch-fenced
+  re-dispatch), worker stalls (a whole execution slowed while its
+  heartbeats stop), and heartbeat-loss episodes on live workers
+  (exercising false-positive death declarations and zombie-completion
+  fencing).  These are keyed by ``(worker, execution)`` rather than
+  ``(request, chunk)`` -- the fleet layer consults them, the inner
+  engines never see them.
 
 Every decision comes from a *keyed* RNG -- ``default_rng((seed, kind,
 request, chunk, ...))`` -- so two runs with the same seed inject the same
@@ -69,6 +81,10 @@ FAULT_KINDS = (
     # retry-jitter stream (keyed at len(FAULT_KINDS)) shifts with it and
     # stays collision-free.
     "arena_exhaustion",
+    "slow_chunk",
+    "worker_crash",
+    "worker_stall",
+    "heartbeat_loss",
 )
 
 # Structural corruptions are caught by SparsePlan.validate(); semantic ones
@@ -202,6 +218,25 @@ class FaultInjector:
         reserved for its duration.  Only meaningful on the paged KV
         backend; the engine releases the reservation when the chunk's
         quantum ends, successful or not.
+    p_slow_chunk, slow_chunk_multiplier:
+        Per-(request, chunk) probability that the chunk's *whole* quantum
+        (retries and backoff included, unlike a latency spike) is slowed,
+        and the upper bound of the slow factor: a firing slow chunk draws
+        its factor uniformly from ``(1, slow_chunk_multiplier]``.
+    p_worker_crash:
+        Per-(worker, execution) probability that the worker process dies
+        partway through the execution; the crash point is a fraction of
+        the execution's duration drawn uniformly from ``[0.05, 0.95]``.
+    p_worker_stall, worker_stall_multiplier:
+        Per-(worker, execution) probability that the execution stalls:
+        its duration is multiplied and the worker's heartbeats stop for
+        the stretched duration (the supervisor sees silence, not an
+        error).
+    p_heartbeat_loss, heartbeat_loss_run:
+        Per-(worker, beat) probability that a heartbeat-loss episode
+        *starts* at that beat; an episode suppresses
+        ``heartbeat_loss_run`` consecutive beats of an otherwise healthy
+        worker (driving the supervisor's false-positive path).
     """
 
     def __init__(
@@ -217,6 +252,13 @@ class FaultInjector:
         straggler_multiplier: float = 4.0,
         p_arena_exhaustion: float = 0.0,
         exhaustion_fraction: float = 0.75,
+        p_slow_chunk: float = 0.0,
+        slow_chunk_multiplier: float = 4.0,
+        p_worker_crash: float = 0.0,
+        p_worker_stall: float = 0.0,
+        worker_stall_multiplier: float = 8.0,
+        p_heartbeat_loss: float = 0.0,
+        heartbeat_loss_run: int = 3,
     ) -> None:
         for name, p in (
             ("p_attend_fault", p_attend_fault),
@@ -225,6 +267,10 @@ class FaultInjector:
             ("p_straggler", p_straggler),
             ("p_arena_exhaustion", p_arena_exhaustion),
             ("exhaustion_fraction", exhaustion_fraction),
+            ("p_slow_chunk", p_slow_chunk),
+            ("p_worker_crash", p_worker_crash),
+            ("p_worker_stall", p_worker_stall),
+            ("p_heartbeat_loss", p_heartbeat_loss),
         ):
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"{name} must lie in [0, 1], got {p!r}")
@@ -233,8 +279,17 @@ class FaultInjector:
                 f"max_transient_failures must be >= 1, got "
                 f"{max_transient_failures!r}"
             )
-        if spike_multiplier < 1.0 or straggler_multiplier < 1.0:
+        if (
+            spike_multiplier < 1.0
+            or straggler_multiplier < 1.0
+            or slow_chunk_multiplier < 1.0
+            or worker_stall_multiplier < 1.0
+        ):
             raise ConfigError("latency multipliers must be >= 1")
+        if heartbeat_loss_run < 1:
+            raise ConfigError(
+                f"heartbeat_loss_run must be >= 1, got {heartbeat_loss_run!r}"
+            )
         self.seed = int(seed)
         self.p_attend_fault = p_attend_fault
         self.max_transient_failures = max_transient_failures
@@ -245,6 +300,13 @@ class FaultInjector:
         self.straggler_multiplier = straggler_multiplier
         self.p_arena_exhaustion = p_arena_exhaustion
         self.exhaustion_fraction = exhaustion_fraction
+        self.p_slow_chunk = p_slow_chunk
+        self.slow_chunk_multiplier = slow_chunk_multiplier
+        self.p_worker_crash = p_worker_crash
+        self.p_worker_stall = p_worker_stall
+        self.worker_stall_multiplier = worker_stall_multiplier
+        self.p_heartbeat_loss = p_heartbeat_loss
+        self.heartbeat_loss_run = int(heartbeat_loss_run)
 
     # ----------------------------------------------------------- decisions
     def attend_failures(self, request_id: int, chunk_index: int) -> int:
@@ -314,6 +376,56 @@ class FaultInjector:
             return 0.0
         return self.exhaustion_fraction
 
+    def slow_factor(self, request_id: int, chunk_index: int) -> float:
+        """Slow-chunk factor for one chunk's *entire* quantum (1.0 = no
+        fault).  Unlike :meth:`latency_multiplier` -- which scales only
+        the successful attempt's bill -- this factor stretches everything
+        the quantum spent: failed attempts, backoff, the lot.  Deadlines
+        and retries see pervasive slowness, not a spike."""
+        rng = _rng(self.seed, _KIND_IDS["slow_chunk"], request_id,
+                   chunk_index)
+        if rng.uniform() >= self.p_slow_chunk:
+            return 1.0
+        return 1.0 + (self.slow_chunk_multiplier - 1.0) * float(rng.uniform())
+
+    # ------------------------------------------------------- fleet decisions
+    def worker_crash(self, worker_id: int, exec_seq: int) -> float | None:
+        """Whether worker ``worker_id``'s ``exec_seq``-th execution
+        crashes the process, and where: ``None`` for no crash, else the
+        fraction of the execution's duration that elapses before death
+        (the request dies mid-flight, never at a clean boundary)."""
+        rng = _rng(self.seed, _KIND_IDS["worker_crash"], worker_id, exec_seq)
+        if rng.uniform() >= self.p_worker_crash:
+            return None
+        return 0.05 + 0.9 * float(rng.uniform())
+
+    def worker_stall(self, worker_id: int, exec_seq: int) -> float:
+        """Stall factor for one worker execution (1.0 = no stall).  A
+        stalled execution takes ``factor``x its virtual duration *and*
+        stops heartbeating for the stretch -- the supervisor must tell
+        slow from dead."""
+        rng = _rng(self.seed, _KIND_IDS["worker_stall"], worker_id, exec_seq)
+        if rng.uniform() >= self.p_worker_stall:
+            return 1.0
+        return self.worker_stall_multiplier
+
+    def heartbeat_lost(self, worker_id: int, beat: int) -> bool:
+        """Whether worker ``worker_id``'s ``beat``-th heartbeat is lost.
+
+        A loss *episode* starting at beat ``s`` suppresses beats
+        ``s .. s + heartbeat_loss_run - 1``; this checks every episode
+        that could cover ``beat``, so the answer is independent of query
+        order."""
+        if self.p_heartbeat_loss <= 0.0:
+            return False
+        first = max(0, beat - self.heartbeat_loss_run + 1)
+        for start in range(first, beat + 1):
+            rng = _rng(self.seed, _KIND_IDS["heartbeat_loss"], worker_id,
+                       start)
+            if rng.uniform() < self.p_heartbeat_loss:
+                return True
+        return False
+
     def backoff_jitter(
         self, request_id: int, chunk_index: int, attempt: int
     ) -> float:
@@ -335,7 +447,22 @@ class FaultInjector:
             "straggler_multiplier": self.straggler_multiplier,
             "p_arena_exhaustion": self.p_arena_exhaustion,
             "exhaustion_fraction": self.exhaustion_fraction,
+            "p_slow_chunk": self.p_slow_chunk,
+            "slow_chunk_multiplier": self.slow_chunk_multiplier,
+            "p_worker_crash": self.p_worker_crash,
+            "p_worker_stall": self.p_worker_stall,
+            "worker_stall_multiplier": self.worker_stall_multiplier,
+            "p_heartbeat_loss": self.p_heartbeat_loss,
+            "heartbeat_loss_run": self.heartbeat_loss_run,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultInjector":
+        """Rebuild an injector from :meth:`as_dict` (how a fleet worker
+        process receives its copy of the adversary)."""
+        return cls(int(data["seed"]), **{
+            k: v for k, v in data.items() if k != "seed"
+        })
 
 
 # -------------------------------------------------------------------- bursts

@@ -201,3 +201,13 @@ class PlanCache:
         for k in keys:
             del self._entries[k]
         self.stats.evictions += len(keys)
+
+    def clear(self) -> None:
+        """Reset to fresh-process state: entries *and* stats.
+
+        Used by :meth:`~repro.serving.engine.ServingEngine.reset` so a
+        restarted fleet worker's cache is indistinguishable from a newly
+        spawned process's (dropped entries are deliberately *not* counted
+        as evictions -- a dead process reports nothing)."""
+        self._entries.clear()
+        self.stats = PlanCacheStats()

@@ -7,12 +7,21 @@ rejections, plan-cache hit rate, dense fallbacks).  Both live here, in a
 :class:`MetricsRegistry` that experiments can export as JSON or Markdown --
 the serving-side observability the paper's Appendix A.6 engineering
 discussion presumes.
+
+Every record is **losslessly JSON-serialisable**: ``to_dict``/``from_dict``
+round-trip :class:`RequestTelemetry`, :class:`MetricsRegistry`, and (via
+:meth:`~repro.serving.engine.EngineResult.to_dict`) whole engine results
+with stable key ordering, so worker results can cross process boundaries
+(the fleet's ``transport="process"`` workers) and still compare bitwise
+with in-process runs.  :meth:`MetricsRegistry.merge` folds one registry
+into another -- how the fleet aggregates per-worker registries into one
+fleet-wide view.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -140,6 +149,46 @@ class RequestTelemetry:
         if not self.kept_kv_ratios:
             return 0.0
         return float(np.mean(self.kept_kv_ratios))
+
+    def to_dict(self) -> dict:
+        """Lossless JSON record: every field, declaration order.
+
+        Unlike :meth:`as_dict` (a rounded reporting view with derived
+        columns), this is the wire format: ``from_dict(to_dict(tm)) ==
+        tm`` exactly, including ``None`` timestamps and the full
+        ``transitions`` audit trail.  Keys are emitted in dataclass
+        declaration order, so serialised records are byte-stable across
+        processes and runs.
+        """
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, list):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RequestTelemetry":
+        """Inverse of :meth:`to_dict`; rejects unknown keys so schema
+        drift fails loudly at the process boundary."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ConfigError(
+                f"unknown RequestTelemetry fields {sorted(unknown)!r}"
+            )
+        tm = cls(
+            request_id=int(data["request_id"]),
+            arrival=float(data["arrival"]),
+            prompt_len=int(data["prompt_len"]),
+        )
+        for f in fields(cls):
+            if f.name in ("request_id", "arrival", "prompt_len"):
+                continue
+            if f.name in data:
+                setattr(tm, f.name, data[f.name])
+        return tm
 
     def as_dict(self) -> dict:
         """JSON-friendly flat record."""
@@ -280,6 +329,48 @@ class MetricsRegistry:
             "memory_sheds": self.counter("memory_sheds"),
         }
         return out
+
+    # ----------------------------------------------------------- round-trip
+    def to_dict(self) -> dict:
+        """Lossless JSON snapshot with stable key ordering.
+
+        Counters and series are emitted sorted by name; requests keep
+        insertion order.  ``from_dict(to_dict(r))`` reproduces the
+        registry exactly, so worker registries can cross a process
+        boundary and still merge bitwise with in-process ones.
+        """
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "series": {
+                k: list(self._series[k]) for k in sorted(self._series)
+            },
+            "requests": [t.to_dict() for t in self.requests],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Inverse of :meth:`to_dict`."""
+        reg = cls()
+        for name, value in data.get("counters", {}).items():
+            reg._counters[str(name)] = float(value)
+        for name, values in data.get("series", {}).items():
+            reg._series[str(name)] = [float(v) for v in values]
+        reg.requests = [
+            RequestTelemetry.from_dict(rec) for rec in data.get("requests", ())
+        ]
+        return reg
+
+    def merge(self, other: "MetricsRegistry", *, requests: bool = True) -> None:
+        """Fold ``other`` into this registry: counters sum, series extend,
+        request records append (skipped with ``requests=False`` -- the
+        fleet keeps one authoritative, re-stamped record per request and
+        merges only the workers' counter streams)."""
+        for name in sorted(other._counters):
+            self.inc(name, other._counters[name])
+        for name in sorted(other._series):
+            self._series.setdefault(name, []).extend(other._series[name])
+        if requests:
+            self.requests.extend(other.requests)
 
     # --------------------------------------------------------------- exports
     def to_json(self, *, indent: int | None = 2) -> str:

@@ -1,0 +1,137 @@
+"""Boundary tests for :class:`~repro.serving.AdmissionQueue`.
+
+The fleet front door leans on the queue harder than the single engine
+ever did -- the brownout rung mutates ``capacity`` mid-run and the
+dispatcher interleaves admits, sheds, and removals at exact capacity
+boundaries.  These tests pin the semantics at those edges: capacity 1,
+capacity 0 (the degenerate reject-all used by the ``shed`` rung), and
+fill / drain / refill sequences under both policies.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import AdmissionQueue
+
+
+class TestCapacityOne:
+    def test_reject_policy_turns_second_item_away(self):
+        q = AdmissionQueue(1, policy="reject")
+        assert q.offer("a").admitted
+        out = q.offer("b")
+        assert not out.admitted and out.shed is None
+        assert q.items == ["a"] and len(q) == 1
+
+    def test_shed_oldest_swaps_the_single_slot(self):
+        q = AdmissionQueue(1, policy="shed_oldest")
+        assert q.offer("a").admitted
+        out = q.offer("b")
+        assert out.admitted and out.shed == "a"
+        assert q.items == ["b"]
+        out = q.offer("c")
+        assert out.admitted and out.shed == "b"
+        assert q.items == ["c"]
+
+    def test_unsheddable_occupant_blocks_the_slot(self):
+        q = AdmissionQueue(1, policy="shed_oldest")
+        q.offer("running")
+        out = q.offer("new", sheddable=lambda item: item != "running")
+        assert not out.admitted and out.shed is None
+        assert q.items == ["running"]
+
+    def test_drain_reopens_the_slot(self):
+        q = AdmissionQueue(1, policy="reject")
+        q.offer("a")
+        assert not q.offer("b").admitted
+        q.remove("a")
+        assert len(q) == 0
+        assert q.offer("b").admitted
+        assert q.items == ["b"]
+
+
+class TestCapacityZero:
+    """The degenerate reject-all queue (the fleet's ``shed`` rung)."""
+
+    @pytest.mark.parametrize("policy", ["reject", "shed_oldest"])
+    def test_rejects_everything_without_raising(self, policy):
+        q = AdmissionQueue(0, policy=policy)
+        for item in range(4):
+            out = q.offer(item)
+            assert not out.admitted and out.shed is None
+        assert q.items == []
+
+    def test_capacity_shrunk_to_zero_keeps_existing_items(self):
+        # The brownout/shed rung shrinks capacity on a live queue; items
+        # already admitted stay until removed, but nothing new enters and
+        # shed_oldest must not evict below the new bound implicitly.
+        q = AdmissionQueue(2, policy="shed_oldest")
+        q.offer("a")
+        q.offer("b")
+        q.capacity = 0
+        out = q.offer("c")
+        assert not out.admitted and out.shed is None
+        assert q.items == ["a", "b"]
+
+
+class TestFillDrainSequences:
+    def test_capacity_reached_then_drained_then_refilled(self):
+        q = AdmissionQueue(2, policy="reject")
+        assert q.offer("a").admitted and q.offer("b").admitted
+        assert not q.offer("c").admitted  # at capacity
+        q.remove("a")
+        assert q.offer("c").admitted  # slot reopened, FIFO order kept
+        assert q.items == ["b", "c"]
+        q.remove("b")
+        q.remove("c")
+        assert q.items == []
+        assert q.offer("d").admitted
+
+    def test_shed_oldest_honours_fifo_and_predicate_order(self):
+        q = AdmissionQueue(2, policy="shed_oldest")
+        q.offer("a")
+        q.offer("b")
+        # oldest sheddable wins: "a" is protected, so "b" goes
+        out = q.offer("c", sheddable=lambda item: item != "a")
+        assert out.admitted and out.shed == "b"
+        assert q.items == ["a", "c"]
+        # nothing sheddable -> reject, queue untouched
+        out = q.offer("d", sheddable=lambda item: False)
+        assert not out.admitted and q.items == ["a", "c"]
+
+    def test_interleaved_admit_reject_shed_at_boundary(self):
+        q = AdmissionQueue(2, policy="shed_oldest")
+        offered = list("abcdef")
+        protected = offered[1]  # "b": remove() compares by identity
+        ledger = []
+        for step, item in enumerate(offered):
+            out = q.offer(item, sheddable=lambda it: it is not protected)
+            ledger.append((item, out.admitted, out.shed))
+            if step == 3:
+                q.remove(protected)  # the protected item finishes
+        assert ledger == [
+            ("a", True, None),
+            ("b", True, None),
+            ("c", True, "a"),  # full: oldest sheddable is "a"
+            ("d", True, "c"),  # "b" protected, so "c" goes
+            ("e", True, None),  # "b" removed -> free slot
+            ("f", True, "d"),
+        ]
+        assert q.items == ["e", "f"]
+
+    def test_remove_absent_item_raises(self):
+        q = AdmissionQueue(1)
+        q.offer("a")
+        with pytest.raises(ConfigError):
+            q.remove("ghost")
+
+    def test_remove_is_identity_based(self):
+        x, y = [1], [1]  # equal but distinct objects
+        q = AdmissionQueue(2)
+        q.offer(x)
+        q.offer(y)
+        q.remove(y)
+        assert len(q.items) == 1 and q.items[0] is x
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(-1)

@@ -115,6 +115,66 @@ class TestFaultInjector:
         assert d["seed"] == 9 and d["p_attend_fault"] == 0.25
         assert set(d) >= {"p_plan_poison", "p_latency_spike", "p_straggler"}
 
+    def test_from_dict_rebuilds_equivalent_injector(self):
+        inj = FaultInjector(
+            3, p_slow_chunk=0.5, slow_chunk_multiplier=6.0,
+            p_worker_crash=0.4, p_worker_stall=0.3, p_heartbeat_loss=0.2,
+        )
+        clone = FaultInjector.from_dict(inj.as_dict())
+        assert clone.as_dict() == inj.as_dict()
+        for rid in range(6):
+            assert clone.slow_factor(rid, 0) == inj.slow_factor(rid, 0)
+            assert clone.worker_crash(rid, 0) == inj.worker_crash(rid, 0)
+
+    def test_slow_chunk_factor_bounded_and_deterministic(self):
+        inj = FaultInjector(11, p_slow_chunk=0.6, slow_chunk_multiplier=4.0)
+        fired = 0
+        for rid in range(16):
+            for chunk in range(4):
+                f = inj.slow_factor(rid, chunk)
+                assert f == inj.slow_factor(rid, chunk)
+                assert 1.0 <= f <= 4.0
+                fired += f > 1.0
+        assert fired > 0
+        assert FaultInjector(11, p_slow_chunk=0.0).slow_factor(0, 0) == 1.0
+
+    def test_worker_faults_deterministic_and_bounded(self):
+        inj = FaultInjector(
+            5, p_worker_crash=0.5, p_worker_stall=0.5,
+            worker_stall_multiplier=8.0, p_heartbeat_loss=0.3,
+            heartbeat_loss_run=2,
+        )
+        crashes = stalls = 0
+        for wid in range(3):
+            for seq in range(8):
+                frac = inj.worker_crash(wid, seq)
+                assert frac == inj.worker_crash(wid, seq)
+                if frac is not None:
+                    assert 0.0 < frac < 1.0
+                    crashes += 1
+                stall = inj.worker_stall(wid, seq)
+                assert stall in (1.0, 8.0)
+                stalls += stall > 1.0
+        assert crashes > 0 and stalls > 0
+        # heartbeat loss comes in episodes of heartbeat_loss_run beats
+        lost = [b for b in range(64) if inj.heartbeat_lost(0, b)]
+        assert lost and all(
+            inj.heartbeat_lost(0, b) == (b in lost) for b in range(64)
+        )
+
+    def test_fleet_faults_reject_bad_config(self):
+        for kw in (
+            {"p_slow_chunk": 1.5},
+            {"slow_chunk_multiplier": 0.5},
+            {"p_worker_crash": -0.1},
+            {"p_worker_stall": 2.0},
+            {"worker_stall_multiplier": 0.0},
+            {"p_heartbeat_loss": 1.01},
+            {"heartbeat_loss_run": 0},
+        ):
+            with pytest.raises(ConfigError):
+                FaultInjector(0, **kw)
+
 
 class TestAdmissionBurst:
     def test_burst_spliced_with_fresh_ids(self):
@@ -167,6 +227,37 @@ class TestCircuitBreaker:
         br.record_success()
         assert not br.record_violation()  # streak restarted
         assert br.state == "closed"
+
+    def test_half_open_caps_inflight_probes_at_one(self):
+        br = CircuitBreaker(threshold=1, cooldown_chunks=1)
+        br.record_violation()
+        br.tick()
+        assert br.state == "half_open"
+        assert br.allow_sparse()  # the single probe
+        assert not br.allow_sparse()  # herd is held back
+        assert not br.allow_sparse()
+        br.record_success()  # probe resolved -> closed
+        assert br.state == "closed" and br.allow_sparse()
+
+    def test_half_open_probe_released_on_violation(self):
+        br = CircuitBreaker(threshold=1, cooldown_chunks=1)
+        br.record_violation()
+        br.tick()
+        assert br.allow_sparse() and not br.allow_sparse()
+        assert br.record_violation()  # probe failed -> re-open
+        assert br.state == "open" and not br.allow_sparse()
+        br.tick()
+        assert br.state == "half_open"
+        assert br.allow_sparse()  # new probe slot after re-cooldown
+
+    def test_half_open_abandoned_probe_reclaimed_by_tick(self):
+        br = CircuitBreaker(threshold=1, cooldown_chunks=1)
+        br.record_violation()
+        br.tick()
+        assert br.allow_sparse() and not br.allow_sparse()
+        br.tick()  # chunk boundary: the unresolved probe is abandoned
+        assert br.state == "half_open"
+        assert br.allow_sparse()  # slot is free again
 
     def test_rejects_bad_config(self):
         with pytest.raises(ConfigError):
@@ -271,6 +362,19 @@ class TestChaosRuns:
         result = engine.run(burst(n=2))
         assert all(t.outcome == "completed" for t in result.requests)
 
+    def test_slow_chunk_inflates_virtual_clock_only(self, glm_mini):
+        baseline = make_engine(glm_mini).run(burst(n=3))
+        inj = FaultInjector(
+            4, p_slow_chunk=0.8, slow_chunk_multiplier=5.0
+        )
+        slowed = make_engine(glm_mini, fault_injector=inj).run(burst(n=3))
+        assert slowed.telemetry.counter("fault_slow_chunk") > 0
+        for base_tm, slow_tm in zip(baseline.requests, slowed.requests):
+            # identical semantics, only the clock stretched
+            assert slow_tm.generated == base_tm.generated
+            assert slow_tm.outcome == base_tm.outcome == "completed"
+            assert sum(slow_tm.chunk_seconds) > sum(base_tm.chunk_seconds)
+
 
 class TestPoisonRecovery:
     """Plan-cache corruption must be absorbed, never served."""
@@ -358,6 +462,10 @@ class TestCorruptPlan:
             "straggler",
             "admission_burst",
             "arena_exhaustion",
+            "slow_chunk",
+            "worker_crash",
+            "worker_stall",
+            "heartbeat_loss",
         }
         assert len(CORRUPTION_MODES) == len(set(CORRUPTION_MODES))
 

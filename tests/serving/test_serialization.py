@@ -1,0 +1,164 @@
+"""Property tests for the telemetry wire format.
+
+The fleet ships :class:`~repro.serving.EngineResult` payloads across a
+process boundary as JSON dicts, and the drills compare serialised
+summaries bitwise across runs.  Both hinge on the round-trip laws pinned
+here with hypothesis:
+
+* ``from_dict(to_dict(x))`` reproduces ``x`` exactly (including ``None``
+  timestamps and nested lists) for :class:`RequestTelemetry`,
+  :class:`MetricsRegistry`, and :class:`EngineResult`;
+* ``to_dict`` output survives an actual ``json.dumps``/``loads`` cycle
+  unchanged;
+* key order is deterministic, so equal values serialise to equal bytes.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.serving import EngineResult, MetricsRegistry, RequestTelemetry
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+opt_time = st.none() | st.floats(
+    allow_nan=False, allow_infinity=False, min_value=0.0, max_value=1e6
+)
+counts = st.integers(min_value=0, max_value=1 << 20)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+
+
+@st.composite
+def telemetry_records(draw):
+    tm = RequestTelemetry(
+        request_id=draw(counts),
+        arrival=draw(finite),
+        prompt_len=draw(counts),
+        executed_len=draw(counts),
+        outcome=draw(
+            st.sampled_from(
+                ("queued", "running", "completed", "rejected", "shed",
+                 "deadline_exceeded")
+            )
+        ),
+        first_chunk_start=draw(opt_time),
+        first_token=draw(opt_time),
+        finish=draw(opt_time),
+        chunk_seconds=draw(st.lists(finite, max_size=5)),
+        decode_seconds=draw(finite),
+        plan_hits=draw(counts),
+        plan_misses=draw(counts),
+        plan_fallbacks=draw(counts),
+        kept_kv_ratios=draw(
+            st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=5)
+        ),
+        generated=draw(st.lists(counts, max_size=8)),
+        degradation_level=draw(
+            st.sampled_from(("sparse", "widened", "dense", "shed"))
+        ),
+        transitions=draw(
+            st.lists(
+                st.fixed_dictionaries(
+                    {
+                        "chunk": counts,
+                        "from": names,
+                        "to": names,
+                        "reason": names,
+                    }
+                ),
+                max_size=3,
+            )
+        ),
+        retries=draw(counts),
+        cra_violations=draw(counts),
+        faults_injected=draw(counts),
+        shared_tokens=draw(counts),
+        kv_bytes_peak=draw(counts),
+        kv_evictions=draw(counts),
+    )
+    return tm
+
+
+@st.composite
+def registries(draw):
+    reg = MetricsRegistry()
+    for name, value in draw(
+        st.dictionaries(names, finite, max_size=6)
+    ).items():
+        reg.inc(name, value)
+    for name, values in draw(
+        st.dictionaries(names, st.lists(finite, max_size=4), max_size=4)
+    ).items():
+        for v in values:
+            reg.observe(name, v)
+    for tm in draw(st.lists(telemetry_records(), max_size=3)):
+        reg.requests.append(tm)
+    return reg
+
+
+class TestRequestTelemetryRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(telemetry_records())
+    def test_roundtrip_is_identity(self, tm):
+        assert RequestTelemetry.from_dict(tm.to_dict()) == tm
+
+    @settings(max_examples=50, deadline=None)
+    @given(telemetry_records())
+    def test_survives_json_and_key_order_is_stable(self, tm):
+        d = tm.to_dict()
+        wire = json.loads(json.dumps(d))
+        assert RequestTelemetry.from_dict(wire) == tm
+        assert json.dumps(d) == json.dumps(tm.to_dict())
+
+    def test_unknown_keys_rejected(self):
+        d = RequestTelemetry(0, 0.0, 1).to_dict()
+        d["surprise"] = 1
+        with pytest.raises(ConfigError):
+            RequestTelemetry.from_dict(d)
+
+
+class TestMetricsRegistryRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(registries())
+    def test_roundtrip_preserves_counters_series_requests(self, reg):
+        clone = MetricsRegistry.from_dict(json.loads(json.dumps(reg.to_dict())))
+        assert clone.to_dict() == reg.to_dict()
+        assert clone.requests == reg.requests
+
+    @settings(max_examples=30, deadline=None)
+    @given(registries())
+    def test_serialised_keys_sorted(self, reg):
+        d = reg.to_dict()
+        assert list(d["counters"]) == sorted(d["counters"])
+        assert list(d["series"]) == sorted(d["series"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(registries(), registries())
+    def test_merge_sums_counters_and_concatenates(self, a, b):
+        merged = MetricsRegistry.from_dict(a.to_dict())
+        merged.merge(b)
+        for name in set(a.to_dict()["counters"]) | set(b.to_dict()["counters"]):
+            assert merged.counter(name) == pytest.approx(
+                a.counter(name) + b.counter(name)
+            )
+        assert len(merged.requests) == len(a.requests) + len(b.requests)
+
+
+class TestEngineResultRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(registries())
+    def test_roundtrip_through_json(self, reg):
+        res = EngineResult(
+            telemetry=reg, method="sample",
+            stages={"plan": 0.5}, memory={"arena": {"capacity": 4}},
+        )
+        clone = EngineResult.from_dict(json.loads(json.dumps(res.to_dict())))
+        assert clone.to_dict() == res.to_dict()
+        assert clone.method == "sample"
+        assert clone.requests == res.requests
