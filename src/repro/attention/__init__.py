@@ -25,6 +25,11 @@ from .fastpath import (
     head_pattern_groups,
 )
 from .flash import flash_attention
+from .packed import (
+    PackedAttentionResult,
+    PackedItem,
+    packed_block_sparse_attention,
+)
 from .striped import (
     StripedAttentionResult,
     striped_attention,
@@ -57,6 +62,9 @@ __all__ = [
     "dispatch_block_sparse",
     "fast_block_sparse_attention",
     "head_pattern_groups",
+    "PackedItem",
+    "PackedAttentionResult",
+    "packed_block_sparse_attention",
     "StripedAttentionResult",
     "striped_attention",
     "striped_element_counts",

@@ -3,7 +3,8 @@
 Every way this package can compute attention -- dense, tiled flash, the
 three block-sparse kernel modes, the striped executor, the full Algorithm-1
 pipeline, the serving chain's ``plan -> PlanCache.get/extended ->
-execute`` reuse path, and the paged-KV gather feeding all of them -- must
+execute`` reuse path, the paged-KV gather feeding all of them, and the
+packed cross-request dispatch batching ragged items into one call -- must
 agree with the masked-dense gold standard on *every* geometry, not just
 the hand-picked shapes unit tests use.  This
 module samples the shapes that historically break index-built sparse
@@ -29,7 +30,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..attention.dense import dense_attention
-from ..attention.fastpath import KernelWorkspace, dispatch_block_sparse
+from ..attention.fastpath import (
+    KernelWorkspace,
+    dispatch_block_sparse,
+    fast_block_sparse_attention,
+)
 from ..attention.flash import flash_attention
 from ..attention.masks import (
     BlockMask,
@@ -63,7 +68,7 @@ __all__ = [
 TOLERANCE = 2e-5
 
 #: The cross-checked areas, in execution-chain order.
-AUDIT_AREAS = ("kernels", "striped", "pipeline", "serving", "paged")
+AUDIT_AREAS = ("kernels", "striped", "pipeline", "serving", "paged", "packed")
 
 _STRIPE_MODES = ("empty", "full", "random")
 
@@ -602,12 +607,100 @@ def _check_paged(case: GeometryCase) -> CaseResult:
     )
 
 
+def _packed_batch(case: GeometryCase) -> list[tuple]:
+    """The packed batch derived from one fuzzed geometry: the case itself
+    plus two deterministic ragged siblings (a half-length prefix and a
+    single-row decode-like chunk) sharing ``(H, H_kv, d)``."""
+    variants = [case]
+    s_k2 = max(1, case.s_k // 2 + 1)
+    variants.append(
+        dataclasses.replace(
+            case,
+            seed=case.seed + 4,
+            s_q=min(case.s_q, s_k2),
+            s_k=s_k2,
+            window=min(max(case.window, 1), s_k2),
+            min_keep=min(case.min_keep, s_k2),
+            dense_last_rows=min(case.dense_last_rows, min(case.s_q, s_k2)),
+        )
+    )
+    variants.append(
+        dataclasses.replace(
+            case,
+            seed=case.seed + 5,
+            s_q=1,
+            window=min(max(case.window, 1), case.s_k),
+            dense_last_rows=min(case.dense_last_rows, 1),
+        )
+    )
+    batch = []
+    for var in variants:
+        q, k, v = _qkv(var)
+        batch.append((var, q, k, v, _merged_block_mask(var, _stripes(var))))
+    return batch
+
+
+def _check_packed(case: GeometryCase) -> CaseResult:
+    """Packed cross-request dispatch vs the masked-dense oracle.
+
+    One :func:`packed_block_sparse_attention` call over the ragged batch
+    must match each item's masked-dense oracle within ``TOLERANCE`` and
+    each item's per-request fast-path visited-tile counts *bitwise* (the
+    engine's billing parity rests on the counts, not the float outputs).
+    """
+    from ..attention.packed import PackedItem, packed_block_sparse_attention
+
+    if case.window == 0:
+        try:
+            window_block_mask(case.h, case.s_q, case.s_k, case.block_size, 0)
+        except MaskError:
+            return CaseResult("packed", True, 0.0, "window=0 rejected")
+        return CaseResult(
+            "packed", False, float("inf"), "window=0 accepted by builder"
+        )
+    batch = _packed_batch(case)
+    items = [
+        PackedItem(q=q, k=k, v=v, mask=mask) for _, q, k, v, mask in batch
+    ]
+    workspace = KernelWorkspace()
+    res = packed_block_sparse_attention(items, workspace=workspace)
+
+    worst, worst_detail, checks = 0.0, "", 0
+    for (var, q, k, v, mask), got in zip(batch, res.results):
+        oracle = dense_attention(q, k, v, mask=mask.to_dense()).output
+        div = _divergence(got.output, oracle)
+        checks += 1
+        if div > worst:
+            worst, worst_detail = (
+                div,
+                f"packed item (s_q={var.s_q}, s_k={var.s_k}) vs masked dense",
+            )
+        ref = fast_block_sparse_attention(q, k, v, mask, workspace=workspace)
+        checks += 1
+        if not np.array_equal(got.visited_blocks, ref.visited_blocks):
+            return CaseResult(
+                "packed",
+                False,
+                float("inf"),
+                f"visited-tile counts diverge from the fast path at "
+                f"(s_q={var.s_q}, s_k={var.s_k})",
+            )
+    return CaseResult(
+        "packed",
+        worst <= TOLERANCE,
+        worst,
+        worst_detail or "packed batch agrees",
+        checks=checks,
+    )
+
+
 _CHECKERS = {
     "kernels": _check_kernels,
     "striped": _check_striped,
     "pipeline": _check_pipeline,
     "serving": _check_serving,
     "paged": _check_paged,
+    "packed": _check_packed,
 }
 
 

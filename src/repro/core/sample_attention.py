@@ -219,6 +219,10 @@ def sample_attention(
             if profiler is not None and block.stats is not None:
                 for key in ("runs_coalesced", "head_groups", "gemm_calls"):
                     profiler.count(key, block.stats[key])
+            if profiler is not None:
+                # One per-request kernel invocation -- the packed engine
+                # path replaces N of these with one packed_dispatches.
+                profiler.count("block_dispatches", 1)
             # Normalise the block result into the striped accounting shape.
             b2 = plan.config.block_size**2
             kernel = StripedAttentionResult(

@@ -18,9 +18,15 @@ successive PRs accumulate a regression trajectory, and each run:
   per-case fast-path timings are carried over and the ratio recorded;
 * **gates on workspace growth** -- the fast path's peak
   :class:`~repro.attention.fastpath.KernelWorkspace` arena bytes are
-  recorded per case (schema v2) and, unlike wall-clock, are deterministic
-  for a given workload, so a case needing *more* scratch than the previous
-  run is a hard failure rather than trajectory data.
+  recorded per case and, unlike wall-clock, are deterministic for a given
+  workload, so a case needing *more* scratch than the previous run is a
+  hard failure rather than trajectory data.
+
+Schema v3: every execution path is timed with the *same* best-of-``reps``
+count (earlier schemas gave each path a different rep budget, which
+skewed the cross-path ratios toward the most-repeated path), and each
+case records the ``reps`` / BLAS ``threads`` / ``cpu_count`` it ran
+under.  The regression reader still accepts v1/v2 files.
 
 Environment knobs (used by the CI ``bench-smoke`` job):
 
@@ -116,6 +122,24 @@ def _time_best(fn, reps: int) -> float:
     return float(best)
 
 
+def _blas_threads() -> int:
+    """Effective BLAS thread fan-out for this process.
+
+    Honoured env pins first (the CI smoke jobs set ``OMP_NUM_THREADS=1``),
+    falling back to the core count numpy's BLAS would grab by default.
+    Recorded per case (schema v3) so a timing from a differently-threaded
+    machine is never mistaken for a kernel regression.
+    """
+    for var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+        val = os.environ.get(var)
+        if val:
+            try:
+                return max(1, int(val))
+            except ValueError:
+                continue
+    return os.cpu_count() or 1
+
+
 def _bench_case(case: KernelBenchCase, seed: int, reps: int) -> dict:
     rng = np.random.default_rng((seed, case.seq_len, int(case.alpha * 100)))
     q = rng.standard_normal((_H, case.seq_len, _D), dtype=np.float32)
@@ -140,18 +164,22 @@ def _bench_case(case: KernelBenchCase, seed: int, reps: int) -> dict:
             f"max abs err {err:.2e} > {NUMERIC_TOLERANCE:.0e}"
         )
 
+    # Every path gets the *same* rep count (schema v3): min-of-reps only
+    # filters noise consistently when each path has the same number of
+    # chances to hit a quiet scheduler slot, and cross-path ratios
+    # (fast_vs_ref, fast_vs_dense) are only comparable under equal reps.
     seconds = {
-        "flash": _time_best(lambda: flash_attention(q, k, v), max(1, reps - 1)),
+        "flash": _time_best(lambda: flash_attention(q, k, v), reps),
         "reference": _time_best(
             lambda: block_sparse_attention(q, k, v, mask), reps
         ),
         "fast": _time_best(
             lambda: fast_block_sparse_attention(q, k, v, mask, workspace=workspace),
-            reps + 1,
+            reps,
         ),
     }
     if case.seq_len <= _DENSE_MAX_LEN:
-        seconds["dense"] = _time_best(lambda: dense_attention(q, k, v), 1)
+        seconds["dense"] = _time_best(lambda: dense_attention(q, k, v), reps)
 
     # Cost-model cross-check: the roofline predicts sparse-over-dense
     # speedup from billed element counts alone.  Measured python speedups
@@ -176,6 +204,9 @@ def _bench_case(case: KernelBenchCase, seed: int, reps: int) -> dict:
         "heads": _H,
         "kv_heads": _H_KV,
         "d_head": _D,
+        "reps": reps,
+        "threads": _blas_threads(),
+        "cpu_count": os.cpu_count(),
         "density": reference.density,
         "seconds": seconds,
         "speedup_fast_vs_reference": seconds["reference"] / seconds["fast"],
@@ -224,10 +255,13 @@ def run_kernel_bench(
     if out_file is not None and out_file.exists():
         try:
             prior = json.loads(out_file.read_text(encoding="utf-8"))
+            # v3 adds per-case reps/threads/cpu_count and equalises rep
+            # counts across paths; the carry-over fields below exist in
+            # every prior schema, so v1/v2 files still seed the gates.
             previous = {
                 c["name"]: c["seconds"]["fast"] for c in prior.get("cases", [])
             }
-            # v2 records the peak top-level per case; v1 stashed the same
+            # v2+ records the peak top-level per case; v1 stashed the same
             # number inside fast_stats -- accept either so the gate engages
             # across the schema bump.
             for c in prior.get("cases", []):
@@ -295,7 +329,7 @@ def run_kernel_bench(
             )
 
     report = {
-        "schema": "sampleattn-kernel-bench/v2",
+        "schema": "sampleattn-kernel-bench/v3",
         "scale": scale,
         "seed": seed,
         "reps": reps,
@@ -305,6 +339,7 @@ def run_kernel_bench(
             (r["workspace_bytes_peak"] for r in results), default=0
         ),
         "numpy": np.__version__,
+        "threads": _blas_threads(),
         "cpu_count": os.cpu_count(),
         "unix_time": time.time(),
         "cases": results,

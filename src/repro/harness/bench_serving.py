@@ -1,0 +1,498 @@
+"""Serving benchmark: packed cross-request execution vs per-request calls.
+
+``sampleattn bench-serving`` runs the executing engine twice over the same
+request stream -- once with ``batching="request"`` (one kernel call per
+(request, layer, chunk)) and once with ``batching="packed"`` (one
+:func:`~repro.attention.packed.packed_block_sparse_attention` dispatch per
+(layer, batch step)) -- and writes ``BENCH_serving.json`` at the repo root
+(schema ``sampleattn-serving-bench/v1``).  Each case records tokens/sec,
+TTFT p50/p95, the GEMM/dispatch counters, and the packed-over-per-request
+speedup; beyond the timings, every run *gates*:
+
+* **Numeric parity (always on)** -- a deterministic roofline-billed pair
+  of runs must agree bitwise on every non-kernel registry counter (plan
+  cache traffic, sampled elements, degradation ladder, admissions) and on
+  every generated token; a direct kernel probe on ragged GQA items must
+  match the per-request fast path within :data:`NUMERIC_TOLERANCE`.
+* **Dispatch accounting (always on)** -- the packed run must bill exactly
+  one dispatch per (layer, batch step):
+  ``kernel_packed_dispatches == n_layers * kernel_packed_prefill_steps``.
+* **Regression trajectory** -- when a previous ``BENCH_serving.json``
+  exists, per-case packed tokens/sec are carried over and the ratio
+  recorded (flagged, not failed: wall-clock is machine-dependent).
+
+Environment knobs (used by the CI ``serving-bench-smoke`` job):
+
+* ``SAMPLEATTN_SERVING_BENCH_OUT`` -- output path (default
+  ``BENCH_serving.json`` in the current directory; ``""`` disables);
+* ``SAMPLEATTN_SERVING_BENCH_ENFORCE=1`` -- additionally *fail* when the
+  packed speedup falls below :data:`SPEEDUP_FLOOR` on any case (absolute
+  timings do not transfer across machines, so the floor is opt-in; the
+  parity and dispatch gates fail unconditionally).
+
+Wall-clock numbers are numpy-on-CPU; see ``docs/PERFORMANCE.md`` for what
+does and does not carry over to GPU serving stacks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..attention.fastpath import KernelWorkspace, fast_block_sparse_attention
+from ..attention.packed import PackedItem, packed_block_sparse_attention
+from ..config import SampleAttentionConfig
+from ..core.sample_attention import plan_sample_attention
+from ..errors import ReproError
+from ..model import build_model
+from ..serving import Request, ServingEngine, poisson_workload
+from .bench import _blas_threads
+from .tables import Table
+
+__all__ = [
+    "ServingBenchCase",
+    "serving_bench_cases",
+    "run_serving_bench",
+    "run_bench_serving",
+]
+
+#: Packed outputs must match the per-request fast path at least this
+#: closely (float32 accumulation re-ordered across merged slabs).
+NUMERIC_TOLERANCE = 2e-5
+
+#: Acceptance floor for the packed-over-per-request tokens/sec ratio at
+#: batch depth >= 4.  Recorded always; enforced only under
+#: ``SAMPLEATTN_SERVING_BENCH_ENFORCE=1`` (wall-clock is machine-bound).
+SPEEDUP_FLOOR = 1.3
+
+#: Flagged (not failed): packed tokens/sec below ``previous / ratio``
+#: from the prior BENCH_serving.json is recorded as a regression.
+REGRESSION_RATIO = 1.5
+
+#: Registry counters with this prefix describe the execution path itself
+#: (dispatch/GEMM/packing shape) and legitimately differ between modes;
+#: every other counter must match bitwise in the parity runs.
+_KERNEL_PREFIX = "kernel_"
+
+
+@dataclass(frozen=True)
+class ServingBenchCase:
+    """One benchmark point: an arrival process and a prompt-length mix."""
+
+    name: str
+    rate_per_s: float
+    duration_s: float
+    prompt_lens: tuple[int, ...]
+    decode_tokens: int = 4
+    length_dist: str = "uniform"
+    min_requests: int = 6
+    max_batch_requests: int = 8
+
+
+def serving_bench_cases(scale: str = "quick") -> list[ServingBenchCase]:
+    """The benchmark grid: a Poisson stream and a heavy-tail mix.
+
+    Arrival rates are chosen so the queue depth reaches the batch width
+    quickly (the packed path only amortises when several requests are
+    co-scheduled); ``min_requests`` guarantees batch depth >= 4 even on
+    unlucky Poisson draws.
+    """
+    cases = [
+        ServingBenchCase(
+            "poisson_u8", rate_per_s=60.0, duration_s=0.15,
+            prompt_lens=(4096, 6144, 8192),
+        ),
+        ServingBenchCase(
+            "heavytail_ln", rate_per_s=60.0, duration_s=0.15,
+            prompt_lens=(4096, 6144, 8192), length_dist="lognormal",
+        ),
+    ]
+    if scale == "full":
+        cases.append(
+            ServingBenchCase(
+                "poisson_long", rate_per_s=30.0, duration_s=0.4,
+                prompt_lens=(8192, 12288, 16384), decode_tokens=8,
+                min_requests=10,
+            )
+        )
+    return cases
+
+
+def _case_workload(case: ServingBenchCase, seed: int) -> list[Request]:
+    """Deterministic workload for ``case``: first seed whose Poisson draw
+    yields at least ``min_requests`` arrivals (the batched comparison is
+    meaningless at depth 1)."""
+    name_key = zlib.crc32(case.name.encode("utf-8"))
+    for attempt in range(32):
+        rng = np.random.default_rng((seed, attempt, name_key))
+        reqs = poisson_workload(
+            rng,
+            rate_per_s=case.rate_per_s,
+            duration_s=case.duration_s,
+            prompt_lens=case.prompt_lens,
+            decode_tokens=case.decode_tokens,
+            length_dist=case.length_dist,
+            max_prompt_len=(
+                2 * max(case.prompt_lens)
+                if case.length_dist == "lognormal"
+                else None
+            ),
+        )
+        if len(reqs) >= case.min_requests:
+            return reqs
+    raise ReproError(
+        f"could not draw >= {case.min_requests} arrivals for {case.name}"
+    )
+
+
+def _build_engine(
+    case: ServingBenchCase, seed: int, batching: str, billing: str
+) -> ServingEngine:
+    model = build_model("glm-mini", seed=seed)
+    autotune = os.environ.get("SAMPLEATTN_BENCH_OUT", "BENCH_kernel.json")
+    return ServingEngine(
+        model,
+        method="sample",
+        execution="block",
+        kernel_mode="fast",
+        chunk_size=256,
+        scheduler="round_robin",
+        billing=billing,
+        length_scale=4,
+        max_queue=64,
+        seed=seed,
+        batching=batching,
+        max_batch_requests=case.max_batch_requests,
+        autotune_bench=(
+            autotune if batching == "packed" and Path(autotune).exists() else None
+        ),
+    )
+
+
+def _percentile(values: list[float], q: float) -> float | None:
+    if not values:
+        return None
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _measure(case: ServingBenchCase, seed: int, batching: str) -> dict:
+    """One measured-billing run: wall clock, tokens/sec, TTFT, counters."""
+    reqs = _case_workload(case, seed)
+    engine = _build_engine(case, seed, batching, billing="measured")
+    t0 = time.perf_counter()
+    result = engine.run(reqs)
+    wall = time.perf_counter() - t0
+    reg = result.telemetry
+    completed = [t for t in reg.requests if t.outcome == "completed"]
+    tokens = sum(t.executed_len + len(t.generated) for t in completed)
+    ttfts = [
+        t.first_token - t.arrival
+        for t in reg.requests
+        if t.first_token is not None
+    ]
+    c = reg._counters
+    dispatches = c.get("kernel_packed_dispatches", 0.0)
+    return {
+        "batching": batching,
+        "requests": len(reqs),
+        "completed": len(completed),
+        "wall_seconds": wall,
+        "tokens": int(tokens),
+        "tokens_per_sec": tokens / wall if wall > 0 else 0.0,
+        "ttft_p50": _percentile(ttfts, 50),
+        "ttft_p95": _percentile(ttfts, 95),
+        "mean_batch_occupancy": (
+            float(c.get("kernel_packed_requests", 0.0)) / dispatches
+            if dispatches
+            else None
+        ),
+        "counters": {
+            k: c[k]
+            for k in sorted(c)
+            if k.startswith(_KERNEL_PREFIX) or k in ("admitted", "completed")
+        },
+    }
+
+
+def _parity_gate(case: ServingBenchCase, seed: int) -> dict:
+    """Deterministic roofline-billed pair: packed vs per-request.
+
+    Non-kernel counters and generated tokens must match bitwise; the
+    packed run must bill exactly one dispatch per (layer, batch step).
+    Arrivals are collapsed to t=0 so the queue is deep from the first
+    step and the parity run exercises genuine multi-request dispatches
+    (roofline virtual time outpaces real arrival gaps, which would
+    otherwise degenerate the batch to depth 1).
+    """
+    reqs = [
+        Request(r.request_id, 0.0, r.prompt_len, r.decode_tokens)
+        for r in _case_workload(case, seed)
+    ]
+    runs = {}
+    for batching in ("request", "packed"):
+        engine = _build_engine(case, seed, batching, billing="roofline")
+        result = engine.run(reqs)
+        reg = result.telemetry
+        runs[batching] = {
+            "counters": {
+                k: v
+                for k, v in sorted(reg._counters.items())
+                if not k.startswith(_KERNEL_PREFIX)
+            },
+            "kernel": {
+                k: v
+                for k, v in sorted(reg._counters.items())
+                if k.startswith(_KERNEL_PREFIX)
+            },
+            "tokens": [list(t.generated) for t in reg.requests],
+            "n_layers": engine.model.config.n_layers,
+        }
+
+    counters_equal = runs["request"]["counters"] == runs["packed"]["counters"]
+    tokens_equal = runs["request"]["tokens"] == runs["packed"]["tokens"]
+    if not counters_equal:
+        diff = {
+            k: (runs["request"]["counters"].get(k), runs["packed"]["counters"].get(k))
+            for k in set(runs["request"]["counters"]) | set(runs["packed"]["counters"])
+            if runs["request"]["counters"].get(k) != runs["packed"]["counters"].get(k)
+        }
+        raise ReproError(
+            f"packed/per-request counter parity failed on {case.name}: {diff}"
+        )
+    if not tokens_equal:
+        raise ReproError(
+            f"packed/per-request generated tokens diverge on {case.name}"
+        )
+
+    kc = runs["packed"]["kernel"]
+    dispatches = kc.get("kernel_packed_dispatches", 0.0)
+    steps = kc.get("kernel_packed_prefill_steps", 0.0)
+    n_layers = runs["packed"]["n_layers"]
+    if steps <= 0 or dispatches != n_layers * steps:
+        raise ReproError(
+            f"dispatch accounting failed on {case.name}: "
+            f"{dispatches} dispatches != {n_layers} layers x {steps} steps"
+        )
+    return {
+        "counters_equal": True,
+        "tokens_equal": True,
+        "packed_dispatches": int(dispatches),
+        "packed_prefill_steps": int(steps),
+        "n_layers": int(n_layers),
+        "mean_batch_occupancy": (
+            float(kc.get("kernel_packed_requests", 0.0)) / dispatches
+            if dispatches
+            else 0.0
+        ),
+    }
+
+
+def _kernel_probe(seed: int) -> float:
+    """Hermetic output-parity probe: one packed dispatch over ragged GQA
+    items vs one fast-path call per item; returns the max abs error."""
+    rng = np.random.default_rng((seed, 0xBEEF))
+    h, h_kv, d = 8, 4, 64
+    config = SampleAttentionConfig(alpha=0.9, r_window=0.02, block_size=64)
+    items = []
+    refs = []
+    ws = KernelWorkspace()
+    for s_k in (512, 832, 1280):
+        s_q = 256
+        q = rng.standard_normal((h, s_q, d), dtype=np.float32)
+        k = rng.standard_normal((h_kv, s_k, d), dtype=np.float32)
+        v = rng.standard_normal((h_kv, s_k, d), dtype=np.float32)
+        plan = plan_sample_attention(q, k, config)
+        mask = plan.to_block_mask()
+        items.append(PackedItem(q=q, k=k, v=v, mask=mask))
+        refs.append(fast_block_sparse_attention(q, k, v, mask, workspace=ws))
+    res = packed_block_sparse_attention(items, workspace=ws)
+    err = 0.0
+    for got, ref in zip(res.results, refs):
+        err = max(err, float(np.abs(got.output - ref.output).max()))
+        if not np.array_equal(got.visited_blocks, ref.visited_blocks):
+            raise ReproError("kernel probe: packed visited-tile counts diverge")
+    if err > NUMERIC_TOLERANCE:
+        raise ReproError(
+            f"kernel probe: packed output error {err:.2e} > "
+            f"{NUMERIC_TOLERANCE:.0e} vs per-request fast path"
+        )
+    return err
+
+
+def run_serving_bench(
+    scale: str = "quick",
+    seed: int = 0,
+    *,
+    out_path: str | os.PathLike | None = None,
+    enforce: bool | None = None,
+    cases: list[ServingBenchCase] | None = None,
+) -> dict:
+    """Run the serving benchmark grid and write ``BENCH_serving.json``.
+
+    Parameters
+    ----------
+    out_path:
+        Where to write the JSON; defaults to
+        ``$SAMPLEATTN_SERVING_BENCH_OUT`` or ``BENCH_serving.json`` in the
+        current directory.  ``""`` disables writing.
+    enforce:
+        Fail (:class:`~repro.errors.ReproError`) when the packed speedup
+        falls below :data:`SPEEDUP_FLOOR` on any case.  Defaults to
+        ``$SAMPLEATTN_SERVING_BENCH_ENFORCE``.  The parity and dispatch
+        gates always fail hard.
+    """
+    if out_path is None:
+        out_path = os.environ.get(
+            "SAMPLEATTN_SERVING_BENCH_OUT", "BENCH_serving.json"
+        )
+    if enforce is None:
+        enforce = os.environ.get("SAMPLEATTN_SERVING_BENCH_ENFORCE", "") == "1"
+
+    previous: dict[str, float] = {}
+    out_file = Path(out_path) if out_path else None
+    if out_file is not None and out_file.exists():
+        try:
+            prior = json.loads(out_file.read_text(encoding="utf-8"))
+            previous = {
+                c["name"]: c["packed"]["tokens_per_sec"]
+                for c in prior.get("cases", [])
+            }
+        except (json.JSONDecodeError, KeyError, TypeError):
+            previous = {}
+
+    probe_err = _kernel_probe(seed)
+
+    results = []
+    for case in cases if cases is not None else serving_bench_cases(scale):
+        parity = _parity_gate(case, seed)
+        request = _measure(case, seed, "request")
+        packed = _measure(case, seed, "packed")
+        speedup = (
+            packed["tokens_per_sec"] / request["tokens_per_sec"]
+            if request["tokens_per_sec"] > 0
+            else 0.0
+        )
+        prev = previous.get(case.name)
+        record = {
+            "name": case.name,
+            "rate_per_s": case.rate_per_s,
+            "duration_s": case.duration_s,
+            "prompt_lens": list(case.prompt_lens),
+            "length_dist": case.length_dist,
+            "decode_tokens": case.decode_tokens,
+            "max_batch_requests": case.max_batch_requests,
+            "request": request,
+            "packed": packed,
+            "speedup_tokens_per_sec": speedup,
+            "parity": parity,
+            "previous_packed_tokens_per_sec": prev,
+            "regression_vs_previous": (
+                prev / packed["tokens_per_sec"]
+                if prev and packed["tokens_per_sec"] > 0
+                else None
+            ),
+            "regressed": bool(
+                prev and packed["tokens_per_sec"] * REGRESSION_RATIO < prev
+            ),
+        }
+        results.append(record)
+        if enforce and speedup < SPEEDUP_FLOOR:
+            raise ReproError(
+                f"packed speedup {speedup:.2f}x below floor "
+                f"{SPEEDUP_FLOOR}x on {case.name}"
+            )
+
+    report = {
+        "schema": "sampleattn-serving-bench/v1",
+        "scale": scale,
+        "seed": seed,
+        "model": "glm-mini",
+        "tolerance": NUMERIC_TOLERANCE,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "enforced": bool(enforce),
+        "kernel_probe_max_abs_err": probe_err,
+        "numpy": np.__version__,
+        "threads": _blas_threads(),
+        "cpu_count": os.cpu_count(),
+        "unix_time": time.time(),
+        "cases": results,
+    }
+    if out_file is not None:
+        out_file.write_text(
+            json.dumps(report, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+    return report
+
+
+def run_bench_serving(scale="quick", seed: int = 0) -> list[Table]:
+    """``sampleattn bench-serving``: packed vs per-request + JSON."""
+    scale_name = scale if isinstance(scale, str) else scale.name
+    report = run_serving_bench(scale_name, seed)
+    table = Table(
+        "Serving bench: packed vs per-request execution (measured billing)",
+        [
+            "case",
+            "reqs",
+            "req_tok/s",
+            "packed_tok/s",
+            "speedup",
+            "req_p95_ttft",
+            "packed_p95_ttft",
+            "occupancy",
+            "regressed",
+        ],
+        notes=(
+            "speedup = packed/per-request tokens per wall second; occupancy "
+            "= mean requests per packed dispatch; parity gates (counters, "
+            "tokens, one dispatch per layer x step, output probe "
+            f"<= {NUMERIC_TOLERANCE:.0e}) passed for every row. JSON "
+            "written to "
+            + (
+                os.environ.get("SAMPLEATTN_SERVING_BENCH_OUT")
+                or "BENCH_serving.json"
+            )
+        ),
+    )
+    for r in report["cases"]:
+        table.add_row(
+            r["name"],
+            r["request"]["requests"],
+            round(r["request"]["tokens_per_sec"], 1),
+            round(r["packed"]["tokens_per_sec"], 1),
+            round(r["speedup_tokens_per_sec"], 2),
+            round(r["request"]["ttft_p95"], 3) if r["request"]["ttft_p95"] else "-",
+            round(r["packed"]["ttft_p95"], 3) if r["packed"]["ttft_p95"] else "-",
+            round(r["packed"]["mean_batch_occupancy"] or 0.0, 2),
+            "yes" if r["regressed"] else "no",
+        )
+    dispatch = Table(
+        "Serving bench: dispatch accounting (roofline parity runs)",
+        [
+            "case",
+            "layers",
+            "steps",
+            "packed_dispatches",
+            "req_gemms",
+            "packed_gemms",
+        ],
+        notes="packed_dispatches == layers x steps is a hard gate: one "
+        "fused kernel dispatch per (layer, batch step)",
+    )
+    for r in report["cases"]:
+        p = r["parity"]
+        dispatch.add_row(
+            r["name"],
+            p["n_layers"],
+            p["packed_prefill_steps"],
+            p["packed_dispatches"],
+            int(r["request"]["counters"].get("kernel_gemm_calls", 0)),
+            int(r["packed"]["counters"].get("kernel_gemm_calls", 0)),
+        )
+    return [table, dispatch]

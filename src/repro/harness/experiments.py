@@ -58,6 +58,12 @@ def _run_fleet(scale="quick", seed: int = 0):
     from .fleetdrill import run_fleet
 
     return run_fleet(scale=scale, seed=seed)
+
+
+def _run_bench_serving(scale="quick", seed: int = 0):
+    from .bench_serving import run_bench_serving
+
+    return run_bench_serving(scale=scale, seed=seed)
 from .methods import METHOD_NAMES, make_backend
 from .tables import Table
 
@@ -1083,6 +1089,10 @@ EXPERIMENTS = {
     "memory": (_run_memory, "Memory drill: paged-KV capacity + pressure recovery"),
     "fleet": (_run_fleet, "Fleet drill: multi-worker crash recovery + isolation"),
     "bench": (_run_bench, "Kernel bench: execution paths + BENCH_kernel.json"),
+    "bench-serving": (
+        _run_bench_serving,
+        "Serving bench: packed vs per-request + BENCH_serving.json",
+    ),
     "audit": (_run_audit, "Differential audit: geometry fuzz + AUDIT.json"),
 }
 

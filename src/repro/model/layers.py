@@ -72,6 +72,53 @@ class AttentionLayer:
         k = apply_rope(k, cos, sin)
         return q.astype(np.float32), k.astype(np.float32), v.astype(np.float32)
 
+    def project_qkv_batch(
+        self,
+        xs: list[np.ndarray],
+        positions_list: list[np.ndarray],
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Batched :meth:`project_qkv` over equal-length residual chunks.
+
+        Stacks the ``B`` chunks into one ``(B, S, d_model)`` tensor so each
+        of the three projections runs as a single GEMM instead of ``B``;
+        rotary tables are still applied per chunk (absolute positions
+        differ across requests).  Per-entry results are bitwise identical
+        to calling :meth:`project_qkv` on each chunk individually -- the
+        batched einsum contracts the same (d,) axis in the same order per
+        output row.
+        """
+        if not xs or len(xs) != len(positions_list):
+            raise ModelError(
+                f"project_qkv_batch needs matched non-empty lists, got "
+                f"{len(xs)} chunks / {len(positions_list)} position sets"
+            )
+        s = xs[0].shape[0]
+        for x in xs:
+            if x.ndim != 2 or x.shape != (s, self.config.d_model):
+                raise ModelError(
+                    f"project_qkv_batch residual shape {x.shape}; expected "
+                    f"({s}, {self.config.d_model}) uniformly"
+                )
+        xb = np.stack(xs)
+        qb = np.einsum("bsd,hde->bhse", xb, self.weights.wq, optimize=True)
+        kb = np.einsum("bsd,gde->bgse", xb, self.weights.wk, optimize=True)
+        vb = np.einsum("bsd,gde->bgse", xb, self.weights.wv, optimize=True)
+        out = []
+        for b, positions in enumerate(positions_list):
+            cos, sin = rope_cos_sin(
+                positions, self.config.rot_dim, self.config.rope_base
+            )
+            q = apply_rope(qb[b], cos, sin)
+            k = apply_rope(kb[b], cos, sin)
+            out.append(
+                (
+                    q.astype(np.float32),
+                    k.astype(np.float32),
+                    vb[b].astype(np.float32),
+                )
+            )
+        return out
+
     def merge_heads(self, attn_out: np.ndarray) -> np.ndarray:
         """``(H, S, e) -> (S, d_model)`` via the output projection."""
         return np.einsum("hse,hed->sd", attn_out, self.weights.wo, optimize=True)

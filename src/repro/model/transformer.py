@@ -182,6 +182,98 @@ class Transformer:
                 x = x + gated_mlp(self._norm(x), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3)
         return x
 
+    def prefill_chunk_batch(
+        self,
+        chunks: list[tuple],
+        attend_batch,
+        *,
+        on_error=None,
+    ) -> list:
+        """Run one chunk from each of several requests through every layer.
+
+        The packed-batching quantum of chunked serving: ``chunks`` is a
+        list of ``(tokens, positions, caches)`` triples (one co-scheduled
+        chunk per request).  Per layer, the q/k/v projections of
+        equal-length chunks are batched into one GEMM
+        (:meth:`AttentionLayer.project_qkv_batch`, bitwise identical to
+        per-chunk projection), every live chunk's KV is appended, and one
+        call to ``attend_batch(layer_index, entries)`` computes attention
+        for the whole batch -- ``entries`` maps chunk index to
+        ``(q, keys, values, scale)`` and the returned dict maps chunk
+        index to the attention output ``(H, S_chunk, d)``.  An index
+        *absent* from the returned dict drops that chunk from all
+        remaining layers (the engine uses this for per-request fault
+        isolation; the caller rolls the dropped request's caches back).
+        ``on_error(chunk_index, layer_index, exc)``, if given, is called
+        when a cache append raises and likewise drops the chunk instead
+        of failing the whole batch.
+
+        Returns one entry per input chunk: the final residual rows
+        ``(S_chunk, d_model)``, or ``None`` for dropped chunks.  Survivor
+        entries are bitwise identical to running :meth:`prefill_chunk`
+        on each request alone (given an ``attend_batch`` that matches
+        ``attend``).
+        """
+        if not chunks:
+            raise ModelError("prefill_chunk_batch needs at least one chunk")
+        for _, _, caches in chunks:
+            if len(caches) != self.config.n_layers:
+                raise ModelError("caches must have one entry per layer")
+        xs: list[np.ndarray | None] = []
+        poss: list[np.ndarray] = []
+        for tokens, positions, _ in chunks:
+            xs.append(self.embed(tokens))
+            poss.append(np.asarray(positions, dtype=np.int64))
+        scale = 1.0 / np.sqrt(self.config.d_head)
+        live = list(range(len(chunks)))
+        for i, layer in enumerate(self.layers):
+            buckets: dict[int, list[int]] = {}
+            for b in live:
+                buckets.setdefault(int(xs[b].shape[0]), []).append(b)
+            qkv: dict[int, tuple] = {}
+            for group in buckets.values():
+                if len(group) == 1:
+                    b = group[0]
+                    qkv[b] = layer.project_qkv(self._norm(xs[b]), poss[b])
+                else:
+                    for b, triple in zip(
+                        group,
+                        layer.project_qkv_batch(
+                            [self._norm(xs[b]) for b in group],
+                            [poss[b] for b in group],
+                        ),
+                    ):
+                        qkv[b] = triple
+            entries: dict[int, tuple] = {}
+            for b in list(live):
+                q, k_new, v_new = qkv[b]
+                cache = chunks[b][2][i]
+                try:
+                    cache.append(k_new, v_new, poss[b])
+                except Exception as exc:
+                    if on_error is None:
+                        raise
+                    on_error(b, i, exc)
+                    live.remove(b)
+                    xs[b] = None
+                    continue
+                entries[b] = (q, cache.keys, cache.values, scale)
+            if not entries:
+                break
+            outs = attend_batch(i, entries)
+            for b in list(live):
+                if b not in outs:
+                    live.remove(b)
+                    xs[b] = None
+                    continue
+                xs[b] = xs[b] + layer.merge_heads(outs[b])
+                lw = layer.weights
+                if lw.mlp_w1 is not None:
+                    xs[b] = xs[b] + gated_mlp(
+                        self._norm(xs[b]), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3
+                    )
+        return xs
+
     def prefill_chunked(
         self,
         tokens: np.ndarray,

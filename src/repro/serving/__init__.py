@@ -47,6 +47,7 @@ Public API::
 
 from ..errors import DeadlineExceededError, FaultInjectionError
 from .engine import (
+    BATCHING_MODES,
     DEGRADATION_LEVELS,
     KV_BACKENDS,
     CircuitBreaker,
@@ -90,6 +91,7 @@ __all__ = [
     "ServingEngine",
     "EngineResult",
     "CircuitBreaker",
+    "BATCHING_MODES",
     "DEGRADATION_LEVELS",
     "KV_BACKENDS",
     "ChunkScheduler",

@@ -50,7 +50,9 @@ import numpy as np
 
 from ..attention.fastpath import KernelWorkspace
 from ..attention.flash import flash_attention
+from ..attention.packed import PackedItem, packed_block_sparse_attention
 from ..config import DEFAULT_CONFIG, KERNEL_MODES, SampleAttentionConfig
+from ..core.autotune import KernelTuner
 from ..core.profiler import StageProfiler
 from ..core.sample_attention import plan_sample_attention, sample_attention
 from ..errors import (
@@ -82,12 +84,22 @@ __all__ = [
     "EngineResult",
     "ServingEngine",
     "CircuitBreaker",
+    "BATCHING_MODES",
     "DEGRADATION_LEVELS",
     "KV_BACKENDS",
 ]
 
 ENGINE_METHODS = ("sample", "flash")
 BILLING_MODES = ("measured", "roofline")
+
+#: Batch-step execution modes: ``"request"`` runs one job's quantum per
+#: scheduling turn (one kernel call per request/layer); ``"packed"``
+#: co-schedules up to ``max_batch_requests`` jobs per turn and executes
+#: their sparse prefill attention as **one**
+#: :func:`~repro.attention.packed.packed_block_sparse_attention` dispatch
+#: per (layer, batch step), with per-request plans, telemetry, degradation
+#: and fault isolation preserved.
+BATCHING_MODES = ("request", "packed")
 
 #: KV storage backends: ``"contiguous"`` gives each request private dense
 #: arrays (:class:`~repro.model.kv_cache.LayerKVCache`); ``"paged"`` pools
@@ -201,6 +213,11 @@ class _Job:
     level: str = "sparse"  # current degradation-ladder rung
     level_violations: int = 0  # consecutive CRA-guard trips at this rung
     kv_released: bool = False  # paged backend: block refs already dropped
+    #: Per-layer ``(covered_rows, max ||k||^2)`` tracked incrementally as
+    #: chunks append -- the packed dispatch's stabilisation bound without
+    #: an O(S_k) reduction per call.  Committed only after a chunk
+    #: succeeds; reset to ``None`` when eviction rewrites the cache.
+    knorm_sq: list | None = None
 
 
 @dataclass
@@ -342,6 +359,18 @@ class ServingEngine:
         :data:`~repro.config.KERNEL_MODES`, defaulting to the config's
         ``kernel_mode``.  The fast/parallel paths reuse one engine-owned
         :class:`~repro.attention.KernelWorkspace` across chunks.
+    batching:
+        One of :data:`BATCHING_MODES`.  ``"packed"`` co-schedules up to
+        ``max_batch_requests`` queued jobs per engine step and fuses
+        their sparse prefill attention into **one** packed block-sparse
+        dispatch per (layer, batch step) -- cross-request GEMM batching
+        with bitwise-identical per-request outputs.  Requires
+        ``method="sample"`` and ``execution="block"``.
+    max_batch_requests:
+        Packed-mode co-scheduling width (prefix of the queue per step).
+    autotune_bench:
+        Optional path to a ``BENCH_kernel.json`` whose history seeds the
+        packed dispatch's shape-class :class:`~repro.core.KernelTuner`.
     kv_backend:
         One of :data:`KV_BACKENDS`.  ``"paged"`` stores all KV in one
         :class:`~repro.memory.KVArena` (fresh per :meth:`run`), enables
@@ -395,6 +424,9 @@ class ServingEngine:
         breaker_cooldown_chunks: int = 8,
         execution: str = "striped",
         kernel_mode: str | None = None,
+        batching: str = "request",
+        max_batch_requests: int = 8,
+        autotune_bench: str | None = None,
         kv_backend: str = "contiguous",
         arena_blocks: int | None = None,
         block_tokens: int = 32,
@@ -444,6 +476,19 @@ class ServingEngine:
             raise ConfigError(
                 f"kernel_mode must be one of {KERNEL_MODES}, got {kernel_mode!r}"
             )
+        if batching not in BATCHING_MODES:
+            raise ConfigError(
+                f"batching must be one of {BATCHING_MODES}, got {batching!r}"
+            )
+        if batching == "packed" and (method != "sample" or execution != "block"):
+            raise ConfigError(
+                "batching='packed' requires method='sample' and "
+                "execution='block' (the packed kernel consumes block masks)"
+            )
+        if max_batch_requests < 1:
+            raise ConfigError(
+                f"max_batch_requests must be >= 1, got {max_batch_requests}"
+            )
         if kv_backend not in KV_BACKENDS:
             raise ConfigError(
                 f"kv_backend must be one of {KV_BACKENDS}, got {kv_backend!r}"
@@ -485,6 +530,14 @@ class ServingEngine:
         self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_chunks)
         self.execution = execution
         self.kernel_mode = kernel_mode
+        self.batching = batching
+        self.max_batch_requests = max_batch_requests
+        self.autotune_bench = autotune_bench
+        # Shape-class tuner for the packed dispatch.  Only the
+        # numerics-free knob (thread fan-out) is applied mid-run; block
+        # size / kernel mode recommendations surface via table().  Fresh
+        # per reset() so same-seed replays stay deterministic.
+        self._tuner = self._make_tuner()
         self.kv_backend = kv_backend
         self.arena_blocks = arena_blocks
         self.block_tokens = block_tokens
@@ -510,6 +563,15 @@ class ServingEngine:
             min_keep=max(4 * config.min_keep, 4),
         )
         self._scale = 1.0 / np.sqrt(model.config.d_head)
+
+    def _make_tuner(self) -> KernelTuner | None:
+        if self.batching != "packed":
+            return None
+        return KernelTuner(
+            default_block_size=self.config.block_size,
+            default_kernel_mode=self.kernel_mode or self.config.kernel_mode,
+            bench_path=self.autotune_bench,
+        )
 
     # -------------------------------------------------------------- prompts
     def _default_prompt(self, request: Request, executed_len: int) -> np.ndarray:
@@ -566,6 +628,7 @@ class ServingEngine:
             decode_left=request.decode_tokens,
             telemetry=tm,
             level=level,
+            knorm_sq=[None] * self.model.config.n_layers,
         )
 
     # ----------------------------------------------------- paged KV memory
@@ -627,6 +690,9 @@ class ServingEngine:
                 self.plan_cache.drop_request(j.request.request_id)
                 self._registry.inc("kv_evictions", float(n1 - n0))
                 j.telemetry.kv_evictions += n1 - n0
+                # The incremental k-norm tracker covered rows that may
+                # just have been rewritten; force a full re-reduction.
+                j.knorm_sq = [None] * len(j.caches)
         self._registry.inc("memory_pressure_relief" if ok else "memory_sheds")
         return ok
 
@@ -656,6 +722,77 @@ class ServingEngine:
         self._transition(job, nxt, reason)
 
     # ------------------------------------------------------------ attention
+    def _dense_attend(self, job: _Job, q, keys, values, scale):
+        """Right-aligned dense causal fallback for one (job, layer) call:
+        rows attend to the full prefix."""
+        s_q, s_k, h = q.shape[1], keys.shape[1], q.shape[0]
+        offset = s_k - s_q
+        job.elements += h * (s_q * offset + s_q * (s_q + 1) / 2.0)
+        with self._profiler.stage("dense"):
+            return flash_attention(q, keys, values, causal=True, scale=scale)
+
+    def _record_violation(self, job: _Job, layer: int, reason: str) -> None:
+        """One runtime CRA-guard trip: the plan in hand must not execute."""
+        tm = job.telemetry
+        tm.cra_violations += 1
+        tm.plan_fallbacks += 1
+        job.level_violations += 1
+        self._registry.inc("cra_guard_violations")
+        self._registry.inc(f"cra_violation_{reason}")
+        self._registry.inc("plan_fallbacks")
+        self.plan_cache.invalidate(job.request.request_id, layer)
+        if self.breaker.record_violation():
+            self._registry.inc("circuit_breaker_trips")
+
+    def _sparse_plan(self, job: _Job, i: int, q, keys, scale, breaker_dense):
+        """Plan/guard gauntlet for one sparse (job, layer) attention call.
+
+        Returns ``(plan, cfg)`` cleared to execute sparsely, or ``None``
+        when the call must fall back to dense (degraded rung, open
+        breaker, invalid or under-alpha plan).  Shared verbatim by the
+        per-request closure and the packed batch step so both paths count
+        plan hits/misses, CRA violations and billed elements identically.
+        ``breaker_dense`` is a one-element list counting the
+        breaker-forced-dense event at most once per chunk.
+        """
+        if job.level not in _SPARSE_LEVELS:
+            return None
+        if not self.breaker.allow_sparse():
+            if not breaker_dense[0]:
+                breaker_dense[0] = True
+                self._registry.inc("breaker_dense_chunks")
+            return None
+        rid = job.request.request_id
+        tm = job.telemetry
+        s_q, s_k, h = q.shape[1], keys.shape[1], q.shape[0]
+        cfg = self.config if job.level == "sparse" else self._widened_config
+        plan = self.plan_cache.get(
+            rid, i, chunk_index=job.chunk_index, s_q=s_q, s_k=s_k
+        )
+        if plan is None:
+            plan = plan_sample_attention(
+                q, keys, cfg, scale=scale, profiler=self._profiler
+            )
+            self.plan_cache.put(rid, i, plan, chunk_index=job.chunk_index)
+            tm.plan_misses += 1
+            self._registry.inc("plan_cache_misses")
+            # Stage-1 sampling scored |rows| x S_k entries per head.
+            job.elements += h * plan.sampled_rows.size * s_k
+        else:
+            tm.plan_hits += 1
+            self._registry.inc("plan_cache_hits")
+        if not plan.validate(s_k=s_k):
+            self._record_violation(job, i, "invalid_plan")
+            return None
+        # Runtime CRA guard: the plan's own coverage accounting must
+        # clear alpha -- a structurally valid plan reporting less (a
+        # semantically poisoned cache entry, or genuine drift) may not
+        # execute sparsely.
+        if float(np.min(plan.achieved_share)) < cfg.alpha - _CRA_EPS:
+            self._record_violation(job, i, "share_below_alpha")
+            return None
+        return plan, cfg
+
     def _attend(self, job: _Job, fail_at: int | None = None):
         """Build the per-layer attention closure for one chunk of ``job``.
 
@@ -670,31 +807,7 @@ class ServingEngine:
         registry = self._registry
         breaker_dense = [False]  # count breaker-forced chunks once per build
 
-        def dense(q, keys, values, scale, s_q, s_k, h):
-            # Right-aligned causal chunk: rows attend to the full prefix.
-            offset = s_k - s_q
-            job.elements += h * (s_q * offset + s_q * (s_q + 1) / 2.0)
-            with self._profiler.stage("dense"):
-                return flash_attention(
-                    q, keys, values, causal=True, scale=scale
-                )
-
-        def violation(reason: str) -> None:
-            # One runtime CRA-guard trip: the plan in hand must not execute.
-            tm.cra_violations += 1
-            tm.plan_fallbacks += 1
-            job.level_violations += 1
-            registry.inc("cra_guard_violations")
-            registry.inc(f"cra_violation_{reason}")
-            registry.inc("plan_fallbacks")
-            self.plan_cache.invalidate(rid, i_current[0])
-            if self.breaker.record_violation():
-                registry.inc("circuit_breaker_trips")
-
-        i_current = [0]
-
         def attend(i, q, keys, values, scale):
-            i_current[0] = i
             if fail_at is not None and i == fail_at:
                 tm.faults_injected += 1
                 registry.inc("faults_injected")
@@ -703,40 +816,10 @@ class ServingEngine:
                     f"injected transient attend failure (request {rid}, "
                     f"chunk {chunk_index}, layer {i})"
                 )
-            s_q, s_k, h = q.shape[1], keys.shape[1], q.shape[0]
-            if job.level not in _SPARSE_LEVELS:
-                return dense(q, keys, values, scale, s_q, s_k, h)
-            if not self.breaker.allow_sparse():
-                if not breaker_dense[0]:
-                    breaker_dense[0] = True
-                    registry.inc("breaker_dense_chunks")
-                return dense(q, keys, values, scale, s_q, s_k, h)
-            cfg = self.config if job.level == "sparse" else self._widened_config
-            plan = self.plan_cache.get(
-                rid, i, chunk_index=chunk_index, s_q=s_q, s_k=s_k
-            )
-            if plan is None:
-                plan = plan_sample_attention(
-                    q, keys, cfg, scale=scale, profiler=self._profiler
-                )
-                self.plan_cache.put(rid, i, plan, chunk_index=chunk_index)
-                tm.plan_misses += 1
-                registry.inc("plan_cache_misses")
-                # Stage-1 sampling scored |rows| x S_k entries per head.
-                job.elements += h * plan.sampled_rows.size * s_k
-            else:
-                tm.plan_hits += 1
-                registry.inc("plan_cache_hits")
-            if not plan.validate(s_k=s_k):
-                violation("invalid_plan")
-                return dense(q, keys, values, scale, s_q, s_k, h)
-            # Runtime CRA guard: the plan's own coverage accounting must
-            # clear alpha -- a structurally valid plan reporting less (a
-            # semantically poisoned cache entry, or genuine drift) may not
-            # execute sparsely.
-            if float(np.min(plan.achieved_share)) < cfg.alpha - _CRA_EPS:
-                violation("share_below_alpha")
-                return dense(q, keys, values, scale, s_q, s_k, h)
+            planned = self._sparse_plan(job, i, q, keys, scale, breaker_dense)
+            if planned is None:
+                return self._dense_attend(job, q, keys, values, scale)
+            plan, cfg = planned
             try:
                 res = sample_attention(
                     q,
@@ -753,14 +836,320 @@ class ServingEngine:
             except FaultInjectionError:
                 raise  # transient: the chunk retry loop owns recovery
             except ReproError:
-                violation("kernel_error")
-                return dense(q, keys, values, scale, s_q, s_k, h)
+                self._record_violation(job, i, "kernel_error")
+                return self._dense_attend(job, q, keys, values, scale)
             self.breaker.record_success()
             job.elements += float(res.kernel.computed_elements.sum())
             tm.kept_kv_ratios.append(plan.mean_kv_ratio)
             return res.output
 
         return attend
+
+    # --------------------------------------------------- packed batch step
+    def _chunk_knorm(self, job: _Job, i: int, keys, chunk_rows: int):
+        """``(covered_rows, max ||k||^2)`` over ``keys`` for (job, layer).
+
+        When the stored value covers exactly the pre-chunk prefix, only
+        the chunk's new rows are reduced and folded in with an exact
+        float ``max`` -- bitwise equal to the full O(S_k) reduction the
+        packed kernel would otherwise run per dispatch (per-row squared
+        norms are row-independent, so the incremental max is the same
+        float).  Falls back to the full reduction otherwise (first chunk,
+        or after eviction invalidated the tracker)."""
+        s_k = int(keys.shape[1])
+        stored = job.knorm_sq[i] if job.knorm_sq is not None else None
+        if (
+            stored is not None
+            and 0 < chunk_rows <= s_k
+            and stored[0] == s_k - chunk_rows
+        ):
+            tail = keys[:, s_k - chunk_rows :, :]
+            val = float(np.einsum("hsd,hsd->hs", tail, tail).max())
+            return (s_k, max(stored[1], val))
+        if s_k == 0:
+            return (0, 0.0)
+        return (s_k, float(np.einsum("hsd,hsd->hs", keys, keys).max()))
+
+    def _dispatch_packed(self, layer: int, items: list, meta: list) -> dict:
+        """One packed block-sparse dispatch for every sparse (job, layer)
+        call of a batch step.  ``meta`` aligns with ``items`` as
+        ``(chunk_index_in_batch, job, plan)``.  Returns chunk index ->
+        attention output; per-item accounting (breaker, billed elements,
+        kept-KV telemetry) mirrors the per-request path exactly."""
+        profiler = self._profiler
+        # Consult the shape-class tuner for the numerics-free knob.
+        threads = 1
+        cls = None
+        if self._tuner is not None:
+            rows = int(sum(it.q.shape[1] for it in items))
+            sig: set = set()
+            blocks_set = blocks_total = 0.0
+            for it in items:
+                blocks = it.mask.blocks
+                bits = np.packbits(
+                    blocks.reshape(blocks.shape[0], -1), axis=1
+                )
+                for row in bits:
+                    sig.add((blocks.shape[1], blocks.shape[2], row.tobytes()))
+                blocks_set += float(blocks.sum())
+                blocks_total += float(blocks.size)
+            density = blocks_set / blocks_total if blocks_total else 1.0
+            cls = self._tuner.shape_class(
+                rows,
+                max(int(it.k.shape[1]) for it in items),
+                density,
+                len(sig),
+            )
+            threads = self._tuner.choose(cls).num_threads
+        t0 = time.perf_counter()
+        with profiler.stage("attend"):
+            try:
+                pres = packed_block_sparse_attention(
+                    items, workspace=self._workspace, num_threads=threads
+                )
+            except ReproError:
+                # One bad item poisons the whole dispatch: every item in
+                # it degrades to the validated dense fallback (rare --
+                # each plan already passed the CRA gauntlet).
+                outs = {}
+                for it, (b, job, _plan) in zip(items, meta):
+                    self._record_violation(job, layer, "kernel_error")
+                    outs[b] = self._dense_attend(
+                        job, it.q, it.k, it.v, it.scale
+                    )
+                return outs
+        if self._tuner is not None:
+            self._tuner.observe(
+                cls, threads, time.perf_counter() - t0, rows
+            )
+        # Deterministic execution-path counters: the serving bench's
+        # one-dispatch-per-(layer, step) proof reads these.
+        profiler.count("packed_dispatches", 1)
+        for key in ("gemm_calls", "runs_coalesced", "head_groups"):
+            profiler.count(key, pres.stats[key])
+        for key in (
+            "packed_requests",
+            "packed_rows",
+            "unique_patterns",
+            "pattern_hits",
+            "tiles_visited",
+        ):
+            profiler.count(f"packed_{key.removeprefix('packed_')}",
+                           pres.stats[key])
+        outs = {}
+        with profiler.stage("unpack"):
+            for res, (b, job, plan) in zip(pres.results, meta):
+                self.breaker.record_success()
+                # Identical billing to the per-request block path:
+                # computed elements = visited blocks x block_size^2.
+                job.elements += (
+                    float(res.visited_blocks.sum())
+                    * plan.config.block_size ** 2
+                )
+                job.telemetry.kept_kv_ratios.append(plan.mean_kv_ratio)
+                outs[b] = res.output
+        return outs
+
+    def _run_packed_step(self, jobs: list[_Job]) -> list[tuple[float, bool]]:
+        """Execute one co-scheduled prefill chunk from each of ``jobs`` as
+        a single packed batch step: per layer, every job's sparse
+        attention runs as **one** packed kernel dispatch; dense/degraded
+        calls fall back per request inside the same step.
+
+        Returns ``(virtual seconds, ok)`` per job, in ``jobs`` order.  A
+        job that faults mid-step (injected attend failure, arena
+        exhaustion) abandons its packed attempt *uncounted*, is rolled
+        back to its pre-step cache marks, and replays wholesale through
+        the per-request :meth:`_run_chunk` -- which re-injects and counts
+        the fault under unchanged retry/backoff/ladder semantics, so
+        fault telemetry matches per-request mode (modulo extra plan-cache
+        hits from the abandoned attempt's cached plans).  The step's wall
+        time is apportioned to jobs by their share of billed elements.
+        """
+        registry = self._registry
+        inj = self.fault_injector
+        n_layers = self.model.config.n_layers
+        ctx: list[dict] = []
+        for job in jobs:
+            rid = job.request.request_id
+            chunk = job.chunk_index
+            tm = job.telemetry
+            self.breaker.tick()
+            if self.memory_breaker is not None:
+                self.memory_breaker.tick()
+            # Fault hooks mirror _run_chunk's prologue, in batch order.
+            if inj is not None and job.level in _SPARSE_LEVELS:
+                mode = inj.poison_mode(rid, chunk)
+                if mode is not None:
+                    n = self.plan_cache.poison(
+                        rid,
+                        lambda layer, p: corrupt_plan(
+                            p, mode, inj.corruption_rng(rid, chunk, layer)
+                        ),
+                    )
+                    if n:
+                        tm.faults_injected += 1
+                        registry.inc("faults_injected")
+                        registry.inc("fault_plan_poison")
+            if inj is not None and self._arena is not None:
+                frac = inj.arena_burst(rid, chunk)
+                if frac > 0.0:
+                    take = int(frac * self._arena.blocks_free)
+                    if take and self._arena.reserve(take):
+                        tm.faults_injected += 1
+                        registry.inc("faults_injected")
+                        registry.inc("fault_arena_exhaustion")
+            must_fail = inj.attend_failures(rid, chunk) if inj else 0
+            ctx.append(
+                {
+                    "fail_at": (
+                        inj.fail_layer(rid, chunk, 0, n_layers)
+                        if must_fail > 0
+                        else None
+                    ),
+                    "marks": [len(c) for c in job.caches],
+                    "breaker_dense": [False],
+                    "elements0": job.elements,
+                    "failed": False,
+                    "knorm": [None] * n_layers,
+                }
+            )
+
+        def attend_batch(i, entries):
+            outs: dict = {}
+            items: list = []
+            meta: list = []
+            for b in sorted(entries):
+                job, c = jobs[b], ctx[b]
+                q, keys, values, scale = entries[b]
+                if c["fail_at"] is not None and i == c["fail_at"]:
+                    # Abandon the packed attempt without counting the
+                    # fault; the _run_chunk replay injects and counts it.
+                    c["failed"] = True
+                    continue
+                planned = self._sparse_plan(
+                    job, i, q, keys, scale, c["breaker_dense"]
+                )
+                if planned is None:
+                    outs[b] = self._dense_attend(job, q, keys, values, scale)
+                    continue
+                plan, _cfg = planned
+                with self._profiler.stage("pack"):
+                    knorm = self._chunk_knorm(job, i, keys, q.shape[1])
+                    c["knorm"][i] = knorm
+                    items.append(
+                        PackedItem(
+                            q=q,
+                            k=keys,
+                            v=values,
+                            mask=plan.to_block_mask(),
+                            scale=scale,
+                            k_norm_sq=knorm[1],
+                            tag=b,
+                        )
+                    )
+                    meta.append((b, job, plan))
+            if items:
+                outs.update(self._dispatch_packed(i, items, meta))
+            return outs
+
+        def on_append_error(b, _layer, exc):
+            if isinstance(exc, (ArenaExhaustedError, FaultInjectionError)):
+                registry.inc("arena_exhaustion_events")
+                if self.memory_breaker is not None and isinstance(
+                    exc, ArenaExhaustedError
+                ):
+                    if self.memory_breaker.record_violation():
+                        registry.inc("memory_breaker_trips")
+                ctx[b]["failed"] = True
+            else:
+                raise exc
+
+        chunks = []
+        for job in jobs:
+            c0, c1 = job.chunks_left[0]
+            chunks.append(
+                (
+                    job.tokens[c0:c1],
+                    np.arange(c0, c1, dtype=np.int64),
+                    job.caches,
+                )
+            )
+        t0 = time.perf_counter()
+        try:
+            xs = self.model.prefill_chunk_batch(
+                chunks, attend_batch, on_error=on_append_error
+            )
+        finally:
+            if self._arena is not None:
+                self._arena.release_reserved()
+        wall = time.perf_counter() - t0
+        self._profiler.count("packed_prefill_steps", 1)
+
+        deltas = [
+            max(job.elements - c["elements0"], 0.0)
+            for job, c in zip(jobs, ctx)
+        ]
+        total = sum(deltas)
+        shares = [
+            d / total if total > 0 else 1.0 / len(jobs) for d in deltas
+        ]
+        results: list[tuple[float, bool]] = []
+        for b, (job, c) in enumerate(zip(jobs, ctx)):
+            if c["failed"]:
+                # Roll back the abandoned attempt and replay per-request:
+                # identical fault semantics, just without batching.
+                for cache, mark in zip(job.caches, c["marks"]):
+                    cache.truncate(mark)
+                partial = self._bill(job, wall * shares[b])
+                seconds, ok = self._run_chunk(job)
+                results.append((partial + seconds, ok))
+                continue
+            job.chunks_left.pop(0)
+            x = xs[b]
+            if not job.chunks_left:
+                job.next_token = int(
+                    np.argmax(self.model.logits(x[-1:])[0])
+                )
+                job.position = int(job.tokens.size)
+                if self._sharing is not None:
+                    if self._sharing.register(job.tokens, job.caches):
+                        registry.inc("prefix_registrations")
+            self._update_kv_peak(job)
+            job.chunk_index += 1
+            bill = self._bill(job, wall * shares[b])
+            rid = job.request.request_id
+            chunk = job.chunk_index - 1
+            if inj is not None:
+                if inj.spike_fired(rid, chunk):
+                    job.telemetry.faults_injected += 1
+                    registry.inc("faults_injected")
+                    registry.inc("fault_latency_spike")
+                if inj.is_straggler(rid):
+                    registry.inc("fault_straggler_chunks")
+                bill *= inj.latency_multiplier(rid, chunk)
+            seconds = bill
+            if inj is not None:
+                slow = inj.slow_factor(rid, chunk)
+                if slow > 1.0:
+                    job.telemetry.faults_injected += 1
+                    registry.inc("faults_injected")
+                    registry.inc("fault_slow_chunk")
+                    seconds *= slow
+            if self.memory_breaker is not None:
+                self.memory_breaker.record_success()
+            # Commit the incremental k-norm tracker only on success (a
+            # rolled-back chunk must not advance coverage).
+            if job.knorm_sq is not None:
+                for li, staged in enumerate(c["knorm"]):
+                    if staged is not None:
+                        job.knorm_sq[li] = staged
+            if job.level in _SPARSE_LEVELS and (
+                job.level_violations >= self.degrade_after
+            ):
+                self._escalate(job, "cra_guard")
+            results.append((seconds, True))
+        return results
 
     # -------------------------------------------------------------- quanta
     def _bill(self, job: _Job, wall_seconds: float) -> float:
@@ -999,6 +1388,7 @@ class ServingEngine:
         if self._workspace is not None:
             self._workspace = KernelWorkspace()
         self._profiler = StageProfiler()
+        self._tuner = self._make_tuner()
 
     def run(self, requests: list[Request]) -> EngineResult:
         """Serve the stream; every request ends completed/rejected/shed."""
@@ -1107,6 +1497,81 @@ class ServingEngine:
                     drop(j, "deadline_exceeded")
                 if not queue.items:
                     continue
+
+            if self.batching == "packed":
+                # One engine step serves a whole co-scheduled batch:
+                # prefill jobs share one packed dispatch per layer, decode
+                # jobs run their per-request quantum, and the virtual
+                # clock advances sequentially in batch order.
+                batch = [
+                    queue.items[i]
+                    for i in self.scheduler.select_batch(
+                        queue.items, self.max_batch_requests
+                    )
+                ]
+                for job in batch:
+                    tm = job.telemetry
+                    if tm.first_chunk_start is None:
+                        tm.first_chunk_start = now
+                        tm.outcome = "running"
+                prefill_jobs = [j for j in batch if j.chunks_left]
+                packed = (
+                    dict(
+                        zip(
+                            (id(j) for j in prefill_jobs),
+                            self._run_packed_step(prefill_jobs),
+                        )
+                    )
+                    if prefill_jobs
+                    else {}
+                )
+                for job in batch:
+                    tm = job.telemetry
+                    if id(job) in packed:  # ran a prefill chunk this step
+                        seconds, ok = packed[id(job)]
+                        now += seconds
+                        tm.chunk_seconds.append(seconds)
+                        registry.observe("chunk_seconds", seconds)
+                        if not ok:
+                            queue.remove(job)
+                            self._transition(job, "shed", "retry_exhausted")
+                            tm.finish = now
+                            drop(job, "shed")
+                            continue
+                        if not job.chunks_left:
+                            tm.first_token = now
+                    elif job.decode_left > 0:
+                        steps = (
+                            job.decode_left
+                            if self.scheduler.policy == "fcfs"
+                            else min(
+                                job.decode_left, self.decode_chunk_tokens
+                            )
+                        )
+                        seconds, ok = self._run_decode(job, steps)
+                        now += seconds
+                        tm.decode_seconds += seconds
+                        if not ok:
+                            queue.remove(job)
+                            self._transition(job, "shed", "memory_pressure")
+                            tm.finish = now
+                            drop(job, "shed")
+                            continue
+                    if not job.chunks_left and job.decode_left == 0:
+                        queue.remove(job)
+                        tm.finish = now
+                        tm.generated = list(job.generated)
+                        tm.outcome = "completed"
+                        registry.inc("completed")
+                        self.plan_cache.drop_request(job.request.request_id)
+                        self._release_job_kv(job)
+                live_ids = {id(j) for j in queue.items}
+                self.scheduler.rotate_batch(
+                    queue.items,
+                    sum(1 for j in batch if id(j) in live_ids),
+                )
+                admit(now)
+                continue
 
             job = queue.items[self.scheduler.select(queue.items)]
             tm = job.telemetry

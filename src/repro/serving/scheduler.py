@@ -65,10 +65,32 @@ class ChunkScheduler:
             raise ConfigError("select on an empty queue")
         return 0
 
+    def select_batch(self, queue: list, max_batch: int) -> list[int]:
+        """Indices of the jobs co-scheduled into one packed batch step.
+
+        Both policies take a prefix of the queue (admission order), up to
+        ``max_batch`` jobs; they differ in how :meth:`rotate_batch` treats
+        the prefix afterwards.  FCFS under batching means "FCFS admission
+        to the batch": the head still finishes before anything behind the
+        first ``max_batch`` jobs runs.
+        """
+        if not queue:
+            raise ConfigError("select_batch on an empty queue")
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        return list(range(min(len(queue), max_batch)))
+
     def rotate(self, queue: list) -> None:
         """Post-quantum queue update for an *unfinished* head job."""
         if self.policy == "round_robin" and len(queue) > 1:
             queue.append(queue.pop(0))
+
+    def rotate_batch(self, queue: list, batch_size: int) -> None:
+        """Post-step queue update after a packed batch of ``batch_size``
+        jobs ran one quantum each: round-robin moves the whole batch to
+        the tail (order preserved), FCFS keeps the queue unchanged."""
+        if self.policy == "round_robin" and 0 < batch_size < len(queue):
+            queue[:] = queue[batch_size:] + queue[:batch_size]
 
 
 @dataclass(frozen=True)

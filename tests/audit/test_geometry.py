@@ -94,6 +94,11 @@ class TestAreaChecks:
         with pytest.raises(ConfigError):
             run_case(BASE, "nonsense")
 
+    def test_packed_area_registered(self):
+        # The packed dispatch ships with its own fuzz area: every campaign
+        # cross-checks the fused batch against the masked-dense oracle.
+        assert "packed" in AUDIT_AREAS
+
 
 class TestShrinking:
     def test_shrinks_planted_predicate_to_minimum(self, monkeypatch):

@@ -37,8 +37,14 @@ def test_report_schema_and_regression_tracking(tmp_path):
     )
     assert out.exists()
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "sampleattn-kernel-bench/v2"
+    assert on_disk["schema"] == "sampleattn-kernel-bench/v3"
+    assert on_disk["threads"] >= 1
     (case,) = report["cases"]
+    # v3: every path is timed with the same rep count, and the record
+    # carries the thread environment the numbers were taken under.
+    assert case["reps"] == 1
+    assert case["threads"] >= 1
+    assert case["cpu_count"] >= 1
     assert case["previous_fast_seconds"] is None
     assert case["previous_workspace_bytes_peak"] is None
     assert case["workspace_bytes_peak"] > 0
@@ -154,3 +160,23 @@ def test_env_overrides(tmp_path, monkeypatch):
     report = run_kernel_bench("quick", seed=0, reps=1, cases=TINY)
     assert out.exists()
     assert report["enforced"] is False
+
+
+def test_reader_accepts_v2_previous_file(tmp_path):
+    """A v3 run seeded from a v2-era file still engages both gates."""
+    out = tmp_path / "BENCH_kernel.json"
+    out.write_text(json.dumps({
+        "schema": "sampleattn-kernel-bench/v2",
+        "cases": [{
+            "name": "s128_a95_w5",
+            "seconds": {"fast": 123.0},
+            "workspace_bytes_peak": 10**12,
+        }],
+    }))
+    report = run_kernel_bench(
+        "quick", seed=0, out_path=out, enforce=False, reps=1, cases=TINY
+    )
+    (case,) = report["cases"]
+    assert case["previous_fast_seconds"] == 123.0
+    assert case["previous_workspace_bytes_peak"] == 10**12
+    assert case["regression_vs_previous"] is not None

@@ -1,0 +1,79 @@
+"""Serving benchmark harness: schema, gates, regression tracking."""
+
+import json
+
+import pytest
+
+from repro.harness.bench_serving import (
+    ServingBenchCase,
+    run_serving_bench,
+    serving_bench_cases,
+)
+from repro.harness.experiments import EXPERIMENTS
+
+# One tiny case keeps the smoke test fast while still exercising every
+# gate (kernel probe, parity, dispatch identity, regression reader).
+TINY = [
+    ServingBenchCase(
+        "smoke", rate_per_s=80.0, duration_s=0.08,
+        prompt_lens=(2048, 3072), decode_tokens=2, min_requests=4,
+        max_batch_requests=4,
+    )
+]
+
+
+def test_registered_experiment():
+    assert "bench-serving" in EXPERIMENTS
+
+
+def test_case_grids():
+    quick = serving_bench_cases("quick")
+    full = serving_bench_cases("full")
+    assert len(full) > len(quick)
+    assert {c.length_dist for c in quick} == {"uniform", "lognormal"}
+
+
+def test_report_schema_gates_and_regression(tmp_path):
+    out = tmp_path / "BENCH_serving.json"
+    report = run_serving_bench(
+        "quick", seed=0, out_path=out, enforce=False, cases=TINY
+    )
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "sampleattn-serving-bench/v1"
+    assert report["kernel_probe_max_abs_err"] <= report["tolerance"]
+
+    (case,) = report["cases"]
+    assert case["request"]["requests"] >= 4
+    assert case["packed"]["tokens"] == case["request"]["tokens"]
+    assert case["packed"]["tokens_per_sec"] > 0
+    assert case["speedup_tokens_per_sec"] > 0
+    # Parity gate ran and proved the dispatch identity.
+    parity = case["parity"]
+    assert parity["tokens_equal"] and parity["counters_equal"]
+    assert (
+        parity["packed_dispatches"]
+        == parity["n_layers"] * parity["packed_prefill_steps"]
+    )
+    assert parity["mean_batch_occupancy"] >= 1.0
+    # First run has no trajectory to compare against.
+    assert case["previous_packed_tokens_per_sec"] is None
+    assert case["regressed"] is False
+
+    # Second run sees the first run's throughput as the previous point.
+    report2 = run_serving_bench(
+        "quick", seed=0, out_path=out, enforce=False, cases=TINY
+    )
+    (case2,) = report2["cases"]
+    assert case2["previous_packed_tokens_per_sec"] == pytest.approx(
+        case["packed"]["tokens_per_sec"]
+    )
+    assert case2["regression_vs_previous"] is not None
+
+
+def test_env_overrides(tmp_path, monkeypatch):
+    out = tmp_path / "env_out.json"
+    monkeypatch.setenv("SAMPLEATTN_SERVING_BENCH_OUT", str(out))
+    monkeypatch.setenv("SAMPLEATTN_SERVING_BENCH_ENFORCE", "")
+    report = run_serving_bench("quick", seed=0, cases=TINY)
+    assert out.exists()
+    assert report["enforced"] is False

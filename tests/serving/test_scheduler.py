@@ -44,6 +44,34 @@ class TestChunkScheduler:
         ChunkScheduler("round_robin").rotate(q)
         assert q == ["a"]
 
+    def test_select_batch_is_queue_prefix(self):
+        q = ["a", "b", "c", "d"]
+        for name in SCHEDULER_NAMES:
+            assert ChunkScheduler(name).select_batch(q, 3) == [0, 1, 2]
+            assert ChunkScheduler(name).select_batch(q, 8) == [0, 1, 2, 3]
+
+    def test_select_batch_rejects_bad_inputs(self):
+        sched = ChunkScheduler("fcfs")
+        with pytest.raises(ConfigError):
+            sched.select_batch([], 4)
+        with pytest.raises(ConfigError):
+            sched.select_batch(["a"], 0)
+
+    def test_rotate_batch_round_robin_moves_prefix_to_tail(self):
+        q = ["a", "b", "c", "d", "e"]
+        ChunkScheduler("round_robin").rotate_batch(q, 2)
+        assert q == ["c", "d", "e", "a", "b"]
+
+    def test_rotate_batch_fcfs_keeps_order(self):
+        q = ["a", "b", "c"]
+        ChunkScheduler("fcfs").rotate_batch(q, 2)
+        assert q == ["a", "b", "c"]
+
+    def test_rotate_batch_whole_queue_noop(self):
+        q = ["a", "b"]
+        ChunkScheduler("round_robin").rotate_batch(q, 2)
+        assert q == ["a", "b"]
+
 
 class TestAdmissionQueue:
     def test_known_policies(self):
