@@ -27,8 +27,11 @@ from .fastpath import (
 from .flash import flash_attention
 from .packed import (
     PackedAttentionResult,
+    PackedDecodeItem,
+    PackedDecodeResult,
     PackedItem,
     packed_block_sparse_attention,
+    packed_decode_attention,
 )
 from .striped import (
     StripedAttentionResult,
@@ -64,7 +67,10 @@ __all__ = [
     "head_pattern_groups",
     "PackedItem",
     "PackedAttentionResult",
+    "PackedDecodeItem",
+    "PackedDecodeResult",
     "packed_block_sparse_attention",
+    "packed_decode_attention",
     "StripedAttentionResult",
     "striped_attention",
     "striped_element_counts",

@@ -57,12 +57,15 @@ from ..errors import ConfigError, MaskError, ShapeError
 from .blocksparse import BlockSparseResult, _total_causal_blocks
 from .fastpath import KernelWorkspace
 from .masks import BlockMask
-from .utils import NEG_INF, validate_qkv
+from .utils import NEG_INF, grouped_pv, grouped_qk, softmax, validate_qkv
 
 __all__ = [
     "PackedItem",
     "PackedAttentionResult",
+    "PackedDecodeItem",
+    "PackedDecodeResult",
     "packed_block_sparse_attention",
+    "packed_decode_attention",
 ]
 
 #: Mirror of :data:`repro.attention.fastpath._SPAN_COVERAGE` -- the packed
@@ -124,6 +127,160 @@ class PackedAttentionResult:
     results: list[BlockSparseResult]
     cu_seqlens: np.ndarray
     stats: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PackedDecodeItem:
+    """One decoding request's share of a packed decode dispatch.
+
+    ``q`` is the request's single rotated query row ``(H, 1, d)``; ``k``/
+    ``v`` are its full cached KV so far ``(H_kv, S_k, d)``, including the
+    entry this step appended.  Cache lengths are ragged across the batch
+    (``cu_seqlens`` in the result records the per-request KV offsets).
+    """
+
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    scale: float | None = None
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class PackedDecodeResult:
+    """Result of one packed decode dispatch.
+
+    ``outputs[i]`` is item *i*'s attention output ``(H, 1, d)``, bitwise
+    identical to ``dense_attention(q, k, v, causal=False, scale=scale)``
+    on that item alone -- the serving parity gate pins generated tokens
+    across batching modes on exactly this property.  ``probs[i]`` (when
+    requested) carries the ``(H, 1, S_k)`` attention probabilities for
+    heavy-hitter mass recording.  ``stats`` is the single merged
+    dispatch record (``dispatches`` is always 1).
+    """
+
+    outputs: list[np.ndarray]
+    probs: list[np.ndarray] | None
+    cu_seqlens: np.ndarray
+    stats: dict = field(default_factory=dict)
+
+
+def packed_decode_attention(
+    items: list[PackedDecodeItem] | tuple[PackedDecodeItem, ...],
+    *,
+    return_probs: bool = False,
+    num_threads: int = 1,
+) -> PackedDecodeResult:
+    """Execute every decoding request's step as one packed dispatch.
+
+    The decode mirror of :func:`packed_block_sparse_attention`: all
+    co-scheduled requests' single-token attention calls -- one query row
+    each against a ragged-length KV prefix -- run under one validation /
+    geometry / dispatch pass instead of one ``dense_attention`` call per
+    request.  Per item the arithmetic is the *same* BLAS schedule the
+    per-request path issues (``grouped_qk`` -> scale -> stabilised
+    ``softmax`` -> ``grouped_pv``), so outputs are bitwise equal to
+    per-request decode; what the packing removes is the per-call fixed
+    cost that dominates single-row shapes: Python dispatch, shape
+    validation, and the dense path's all-``True`` causal-mask
+    materialisation plus the predicated-``where`` pass it feeds (decode
+    rows attend to every cached key, so the mask is pure overhead --
+    ``softmax(scores)`` is bitwise equal to the masked form on a full
+    row).
+
+    All items must share ``(H, H_kv, d)`` (one model); KV lengths may be
+    ragged.  ``return_probs=True`` additionally returns each item's
+    attention probabilities (the H2O heavy-hitter statistic feed).
+    """
+    if num_threads < 1:
+        raise ConfigError(f"num_threads must be >= 1, got {num_threads}")
+    if not items:
+        return PackedDecodeResult(
+            outputs=[],
+            probs=[] if return_probs else None,
+            cu_seqlens=np.zeros(1, dtype=np.int64),
+            stats={
+                "dispatches": 1,
+                "decode_requests": 0,
+                "decode_rows": 0,
+                "kv_tokens": 0,
+                "s_k_max": 0,
+                "head_groups": 0,
+                "mode": "packed_decode",
+                "threads": int(num_threads),
+            },
+        )
+
+    # ---- one validation + geometry pass over the batch -----------------
+    h, h_kv, _, _, d = validate_qkv(items[0].q, items[0].k, items[0].v)
+    cu = np.zeros(len(items) + 1, dtype=np.int64)
+    scales = []
+    s_k_max = 0
+    for i, it in enumerate(items):
+        q, k, v = it.q, it.k, it.v
+        if q.shape != (h, 1, d):
+            raise ShapeError(
+                f"decode item {i}: q shape {q.shape} != ({h}, 1, {d})"
+            )
+        s_k = k.shape[1]
+        if k.shape != (h_kv, s_k, d) or v.shape != k.shape or s_k < 1:
+            raise ShapeError(
+                f"decode item {i}: k/v shapes {k.shape}/{v.shape} "
+                f"incompatible with ({h_kv}, S_k>=1, {d})"
+            )
+        scales.append(
+            np.float32(it.scale if it.scale is not None else 1.0 / np.sqrt(d))
+        )
+        cu[i + 1] = cu[i] + s_k
+        s_k_max = max(s_k_max, s_k)
+
+    outputs: list[np.ndarray | None] = [None] * len(items)
+    probs_out: list[np.ndarray | None] | None = (
+        [None] * len(items) if return_probs else None
+    )
+
+    def exec_item(i: int) -> None:
+        it = items[i]
+        scores = grouped_qk(it.q, it.k)
+        np.multiply(scores, scales[i], out=scores)
+        # Bitwise equal to the dense path's masked softmax: a decode row
+        # attends to the whole cache, and ``np.where(all-True, s, -inf)``
+        # is an exact copy of ``s``.
+        probs = softmax(scores)
+        out = grouped_pv(probs, it.v).astype(it.q.dtype, copy=False)
+        outputs[i] = out
+        if probs_out is not None:
+            probs_out[i] = probs
+
+    if num_threads > 1 and len(items) > 1:
+        workers = min(num_threads, len(items))
+
+        def worker(t: int) -> None:
+            for u in range(t, len(items), workers):
+                exec_item(u)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(worker, range(workers)))
+    else:
+        for i in range(len(items)):
+            exec_item(i)
+
+    stats = {
+        "dispatches": 1,
+        "decode_requests": len(items),
+        "decode_rows": len(items),
+        "kv_tokens": int(cu[-1]),
+        "s_k_max": int(s_k_max),
+        "head_groups": h_kv,
+        "mode": "packed_decode",
+        "threads": int(num_threads),
+    }
+    return PackedDecodeResult(
+        outputs=outputs,  # type: ignore[arg-type]
+        probs=probs_out,  # type: ignore[arg-type]
+        cu_seqlens=cu,
+        stats=stats,
+    )
 
 
 def _row_index(row: np.ndarray, b: int) -> tuple:

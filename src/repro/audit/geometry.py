@@ -68,7 +68,10 @@ __all__ = [
 TOLERANCE = 2e-5
 
 #: The cross-checked areas, in execution-chain order.
-AUDIT_AREAS = ("kernels", "striped", "pipeline", "serving", "paged", "packed")
+AUDIT_AREAS = (
+    "kernels", "striped", "pipeline", "serving", "paged", "packed",
+    "packed_decode",
+)
 
 _STRIPE_MODES = ("empty", "full", "random")
 
@@ -694,6 +697,73 @@ def _check_packed(case: GeometryCase) -> CaseResult:
     )
 
 
+def _check_packed_decode(case: GeometryCase) -> CaseResult:
+    """Fused decode batch vs the per-request dense oracle.
+
+    One :func:`packed_decode_attention` call over a ragged batch of
+    single-row items (KV lengths ``s_k``, ``s_k//2+1`` and ``1``) must be
+    *bitwise* equal to ``dense_attention(q, k, v, causal=False)`` on each
+    item alone -- the serving engine's cross-mode token parity rests on
+    exact equality here, so unlike the float-tolerance areas any nonzero
+    divergence fails.  Probabilities (the H2O mass feed) are held to the
+    same bar.
+    """
+    from ..attention.packed import PackedDecodeItem, packed_decode_attention
+
+    lengths = sorted({case.s_k, case.s_k // 2 + 1, 1})
+    rng = np.random.default_rng(case.seed + 6)
+    batch = []
+    for s_k in lengths:
+        q = rng.standard_normal((case.h, 1, case.d), dtype=np.float32)
+        k = rng.standard_normal((case.h_kv, s_k, case.d), dtype=np.float32)
+        v = rng.standard_normal((case.h_kv, s_k, case.d), dtype=np.float32)
+        batch.append((s_k, q, k, v))
+    res = packed_decode_attention(
+        [PackedDecodeItem(q=q, k=k, v=v) for _, q, k, v in batch],
+        return_probs=True,
+    )
+    checks = 0
+    for (s_k, q, k, v), got, probs in zip(batch, res.outputs, res.probs):
+        oracle = dense_attention(q, k, v, causal=False, return_probs=True)
+        checks += 2
+        if not np.array_equal(got, oracle.output):
+            return CaseResult(
+                "packed_decode",
+                False,
+                _divergence(got, oracle.output),
+                f"decode output not bitwise equal to per-request dense "
+                f"at s_k={s_k}",
+                checks=checks,
+            )
+        if not np.array_equal(probs, oracle.probs):
+            return CaseResult(
+                "packed_decode",
+                False,
+                _divergence(probs, oracle.probs),
+                f"decode probs not bitwise equal to per-request dense "
+                f"at s_k={s_k}",
+                checks=checks,
+            )
+    expected = np.cumsum([0] + lengths)
+    checks += 1
+    if not np.array_equal(res.cu_seqlens, expected):
+        return CaseResult(
+            "packed_decode",
+            False,
+            float("inf"),
+            f"cu_seqlens {res.cu_seqlens.tolist()} != ragged offsets "
+            f"{expected.tolist()}",
+            checks=checks,
+        )
+    return CaseResult(
+        "packed_decode",
+        True,
+        0.0,
+        "fused decode batch bitwise equal to per-request dense",
+        checks=checks,
+    )
+
+
 _CHECKERS = {
     "kernels": _check_kernels,
     "striped": _check_striped,
@@ -701,6 +771,7 @@ _CHECKERS = {
     "serving": _check_serving,
     "paged": _check_paged,
     "packed": _check_packed,
+    "packed_decode": _check_packed_decode,
 }
 
 

@@ -2,12 +2,18 @@
 
 ``sampleattn bench-serving`` runs the executing engine twice over the same
 request stream -- once with ``batching="request"`` (one kernel call per
-(request, layer, chunk)) and once with ``batching="packed"`` (one
+(request, layer, chunk) and one decode step per request at a time) and
+once with ``batching="packed"`` (one
 :func:`~repro.attention.packed.packed_block_sparse_attention` dispatch per
-(layer, batch step)) -- and writes ``BENCH_serving.json`` at the repo root
-(schema ``sampleattn-serving-bench/v1``).  Each case records tokens/sec,
-TTFT p50/p95, the GEMM/dispatch counters, and the packed-over-per-request
-speedup; beyond the timings, every run *gates*:
+(layer, batch step) for prefill and one
+:func:`~repro.attention.packed.packed_decode_attention` dispatch per
+(layer, decode step) across all decoding requests) -- and writes
+``BENCH_serving.json`` at the repo root (schema
+``sampleattn-serving-bench/v2``; the regression reader still accepts v1
+files).  Each case records tokens/sec, TTFT p50/p95, decode-phase TPOT
+p50/p95 (inter-token latency), decode-only tokens/sec, the GEMM/dispatch
+counters, and the packed-over-per-request speedups; beyond the timings,
+every run *gates*:
 
 * **Numeric parity (always on)** -- a deterministic roofline-billed pair
   of runs must agree bitwise on every non-kernel registry counter (plan
@@ -15,20 +21,31 @@ speedup; beyond the timings, every run *gates*:
   every generated token; a direct kernel probe on ragged GQA items must
   match the per-request fast path within :data:`NUMERIC_TOLERANCE`.
 * **Dispatch accounting (always on)** -- the packed run must bill exactly
-  one dispatch per (layer, batch step):
-  ``kernel_packed_dispatches == n_layers * kernel_packed_prefill_steps``.
+  one dispatch per (layer, batch step) in both phases:
+  ``kernel_packed_dispatches == n_layers * kernel_packed_prefill_steps``
+  and ``kernel_packed_decode_dispatches ==
+  n_layers * kernel_packed_decode_steps``.
 * **Regression trajectory** -- when a previous ``BENCH_serving.json``
-  exists, per-case packed tokens/sec are carried over and the ratio
-  recorded (flagged, not failed: wall-clock is machine-dependent).
+  exists, per-case packed (decode) tokens/sec are carried over and the
+  ratio recorded (flagged, not failed: wall-clock is machine-dependent).
+
+The grid has two regimes: the prefill-bound cases (long prompts, short
+decodes) and the decode-heavy cases (short prompts, long decodes; marked
+``decode_heavy``) that exercise the fused batched decode path.
+``sampleattn bench-serving --decode-heavy`` restricts the run to the
+latter.
 
 Environment knobs (used by the CI ``serving-bench-smoke`` job):
 
 * ``SAMPLEATTN_SERVING_BENCH_OUT`` -- output path (default
   ``BENCH_serving.json`` in the current directory; ``""`` disables);
 * ``SAMPLEATTN_SERVING_BENCH_ENFORCE=1`` -- additionally *fail* when the
-  packed speedup falls below :data:`SPEEDUP_FLOOR` on any case (absolute
-  timings do not transfer across machines, so the floor is opt-in; the
-  parity and dispatch gates fail unconditionally).
+  packed speedup falls below :data:`SPEEDUP_FLOOR` on any case, or the
+  packed decode tokens/sec speedup falls below
+  :data:`DECODE_SPEEDUP_FLOOR` on a decode-heavy case with mean decode
+  batch occupancy >= 4 (absolute timings do not transfer across
+  machines, so the floors are opt-in; the parity and dispatch gates fail
+  unconditionally).
 
 Wall-clock numbers are numpy-on-CPU; see ``docs/PERFORMANCE.md`` for what
 does and does not carry over to GPU serving stacks.
@@ -71,6 +88,12 @@ NUMERIC_TOLERANCE = 2e-5
 #: ``SAMPLEATTN_SERVING_BENCH_ENFORCE=1`` (wall-clock is machine-bound).
 SPEEDUP_FLOOR = 1.3
 
+#: Acceptance floor for the packed-over-per-request *decode-only*
+#: tokens/sec ratio on decode-heavy cases whose mean decode batch
+#: occupancy reaches 4 (below that the fused path has nothing to
+#: amortise over).  Same opt-in enforcement as :data:`SPEEDUP_FLOOR`.
+DECODE_SPEEDUP_FLOOR = 1.5
+
 #: Flagged (not failed): packed tokens/sec below ``previous / ratio``
 #: from the prior BENCH_serving.json is recorded as a regression.
 REGRESSION_RATIO = 1.5
@@ -93,16 +116,48 @@ class ServingBenchCase:
     length_dist: str = "uniform"
     min_requests: int = 6
     max_batch_requests: int = 8
+    #: Decode-bound regime: short prompts, long decodes.  Marks the case
+    #: for the decode tokens/sec speedup floor and the ``--decode-heavy``
+    #: grid filter.
+    decode_heavy: bool = False
 
 
-def serving_bench_cases(scale: str = "quick") -> list[ServingBenchCase]:
-    """The benchmark grid: a Poisson stream and a heavy-tail mix.
+def serving_bench_cases(
+    scale: str = "quick", *, decode_heavy_only: bool = False
+) -> list[ServingBenchCase]:
+    """The benchmark grid: prefill-bound streams plus decode-heavy mixes.
 
     Arrival rates are chosen so the queue depth reaches the batch width
     quickly (the packed path only amortises when several requests are
     co-scheduled); ``min_requests`` guarantees batch depth >= 4 even on
-    unlucky Poisson draws.
+    unlucky Poisson draws.  The decode-heavy cases invert the token mix
+    -- prompts a fraction of a chunk, decode runs dozens of steps -- so
+    the fused batched decode path dominates the wall clock;
+    ``decode_heavy_only=True`` (the CLI's ``--decode-heavy``) restricts
+    the run to them.
     """
+    decode_cases = [
+        ServingBenchCase(
+            "decode_short_u8", rate_per_s=400.0, duration_s=0.02,
+            prompt_lens=(64, 128, 192), decode_tokens=48,
+            min_requests=8, decode_heavy=True,
+        ),
+        ServingBenchCase(
+            "decode_short_ln", rate_per_s=400.0, duration_s=0.02,
+            prompt_lens=(64, 128, 192), decode_tokens=48,
+            length_dist="lognormal", min_requests=8, decode_heavy=True,
+        ),
+    ]
+    if scale == "full":
+        decode_cases.append(
+            ServingBenchCase(
+                "decode_long_u8", rate_per_s=400.0, duration_s=0.03,
+                prompt_lens=(128, 256), decode_tokens=96,
+                min_requests=10, decode_heavy=True,
+            )
+        )
+    if decode_heavy_only:
+        return decode_cases
     cases = [
         ServingBenchCase(
             "poisson_u8", rate_per_s=60.0, duration_s=0.15,
@@ -121,7 +176,7 @@ def serving_bench_cases(scale: str = "quick") -> list[ServingBenchCase]:
                 min_requests=10,
             )
         )
-    return cases
+    return cases + decode_cases
 
 
 def _case_workload(case: ServingBenchCase, seed: int) -> list[Request]:
@@ -182,7 +237,8 @@ def _percentile(values: list[float], q: float) -> float | None:
 
 
 def _measure(case: ServingBenchCase, seed: int, batching: str) -> dict:
-    """One measured-billing run: wall clock, tokens/sec, TTFT, counters."""
+    """One measured-billing run: wall clock, tokens/sec, TTFT, TPOT,
+    decode-only throughput, counters."""
     reqs = _case_workload(case, seed)
     engine = _build_engine(case, seed, batching, billing="measured")
     t0 = time.perf_counter()
@@ -196,8 +252,22 @@ def _measure(case: ServingBenchCase, seed: int, batching: str) -> dict:
         for t in reg.requests
         if t.first_token is not None
     ]
+    # Decode-phase metrics (schema v2): per-request TPOT is the mean
+    # inter-token latency (decode wall seconds over generated tokens);
+    # decode tokens/sec divides total decoded tokens by total decode
+    # seconds, so for the packed mode it measures the fused batched
+    # decode path directly (the fused step's wall time is apportioned
+    # across its requests, keeping the denominators comparable).
+    tpots = [
+        t.decode_seconds / len(t.generated)
+        for t in completed
+        if t.generated and t.decode_seconds > 0
+    ]
+    decode_tokens = sum(len(t.generated) for t in completed)
+    decode_seconds = sum(t.decode_seconds for t in completed)
     c = reg._counters
     dispatches = c.get("kernel_packed_dispatches", 0.0)
+    decode_dispatches = c.get("kernel_packed_decode_dispatches", 0.0)
     return {
         "batching": batching,
         "requests": len(reqs),
@@ -207,9 +277,22 @@ def _measure(case: ServingBenchCase, seed: int, batching: str) -> dict:
         "tokens_per_sec": tokens / wall if wall > 0 else 0.0,
         "ttft_p50": _percentile(ttfts, 50),
         "ttft_p95": _percentile(ttfts, 95),
+        "tpot_p50": _percentile(tpots, 50),
+        "tpot_p95": _percentile(tpots, 95),
+        "decode_tokens": int(decode_tokens),
+        "decode_seconds": decode_seconds,
+        "decode_tokens_per_sec": (
+            decode_tokens / decode_seconds if decode_seconds > 0 else 0.0
+        ),
         "mean_batch_occupancy": (
             float(c.get("kernel_packed_requests", 0.0)) / dispatches
             if dispatches
+            else None
+        ),
+        "mean_decode_occupancy": (
+            float(c.get("kernel_packed_decode_requests", 0.0))
+            / decode_dispatches
+            if decode_dispatches
             else None
         ),
         "counters": {
@@ -279,15 +362,31 @@ def _parity_gate(case: ServingBenchCase, seed: int) -> dict:
             f"dispatch accounting failed on {case.name}: "
             f"{dispatches} dispatches != {n_layers} layers x {steps} steps"
         )
+    decode_dispatches = kc.get("kernel_packed_decode_dispatches", 0.0)
+    decode_steps = kc.get("kernel_packed_decode_steps", 0.0)
+    if decode_steps <= 0 or decode_dispatches != n_layers * decode_steps:
+        raise ReproError(
+            f"decode dispatch accounting failed on {case.name}: "
+            f"{decode_dispatches} dispatches != {n_layers} layers x "
+            f"{decode_steps} decode steps"
+        )
     return {
         "counters_equal": True,
         "tokens_equal": True,
         "packed_dispatches": int(dispatches),
         "packed_prefill_steps": int(steps),
+        "packed_decode_dispatches": int(decode_dispatches),
+        "packed_decode_steps": int(decode_steps),
         "n_layers": int(n_layers),
         "mean_batch_occupancy": (
             float(kc.get("kernel_packed_requests", 0.0)) / dispatches
             if dispatches
+            else 0.0
+        ),
+        "mean_decode_occupancy": (
+            float(kc.get("kernel_packed_decode_requests", 0.0))
+            / decode_dispatches
+            if decode_dispatches
             else 0.0
         ),
     }
@@ -325,6 +424,30 @@ def _kernel_probe(seed: int) -> float:
     return err
 
 
+def _read_previous(out_file: Path | None) -> dict[str, dict]:
+    """Per-case regression baselines from a prior ``BENCH_serving.json``.
+
+    Accepts both schema versions: v1 files lack the decode-phase fields,
+    so those baselines are carried as ``None`` (no decode regression
+    flagging until a v2 file exists).
+    """
+    if out_file is None or not out_file.exists():
+        return {}
+    try:
+        prior = json.loads(out_file.read_text(encoding="utf-8"))
+        return {
+            c["name"]: {
+                "tokens_per_sec": c["packed"]["tokens_per_sec"],
+                "decode_tokens_per_sec": c["packed"].get(
+                    "decode_tokens_per_sec"
+                ),
+            }
+            for c in prior.get("cases", [])
+        }
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return {}
+
+
 def run_serving_bench(
     scale: str = "quick",
     seed: int = 0,
@@ -332,6 +455,7 @@ def run_serving_bench(
     out_path: str | os.PathLike | None = None,
     enforce: bool | None = None,
     cases: list[ServingBenchCase] | None = None,
+    decode_heavy: bool = False,
 ) -> dict:
     """Run the serving benchmark grid and write ``BENCH_serving.json``.
 
@@ -343,9 +467,14 @@ def run_serving_bench(
         current directory.  ``""`` disables writing.
     enforce:
         Fail (:class:`~repro.errors.ReproError`) when the packed speedup
-        falls below :data:`SPEEDUP_FLOOR` on any case.  Defaults to
+        falls below :data:`SPEEDUP_FLOOR` on any case, or the decode
+        tokens/sec speedup below :data:`DECODE_SPEEDUP_FLOOR` on a
+        decode-heavy case at decode occupancy >= 4.  Defaults to
         ``$SAMPLEATTN_SERVING_BENCH_ENFORCE``.  The parity and dispatch
         gates always fail hard.
+    decode_heavy:
+        Restrict the grid to the decode-heavy cases (the CLI's
+        ``--decode-heavy``).
     """
     if out_path is None:
         out_path = os.environ.get(
@@ -354,22 +483,15 @@ def run_serving_bench(
     if enforce is None:
         enforce = os.environ.get("SAMPLEATTN_SERVING_BENCH_ENFORCE", "") == "1"
 
-    previous: dict[str, float] = {}
     out_file = Path(out_path) if out_path else None
-    if out_file is not None and out_file.exists():
-        try:
-            prior = json.loads(out_file.read_text(encoding="utf-8"))
-            previous = {
-                c["name"]: c["packed"]["tokens_per_sec"]
-                for c in prior.get("cases", [])
-            }
-        except (json.JSONDecodeError, KeyError, TypeError):
-            previous = {}
+    previous = _read_previous(out_file)
 
     probe_err = _kernel_probe(seed)
 
+    if cases is None:
+        cases = serving_bench_cases(scale, decode_heavy_only=decode_heavy)
     results = []
-    for case in cases if cases is not None else serving_bench_cases(scale):
+    for case in cases:
         parity = _parity_gate(case, seed)
         request = _measure(case, seed, "request")
         packed = _measure(case, seed, "packed")
@@ -378,7 +500,15 @@ def run_serving_bench(
             if request["tokens_per_sec"] > 0
             else 0.0
         )
-        prev = previous.get(case.name)
+        decode_speedup = (
+            packed["decode_tokens_per_sec"]
+            / request["decode_tokens_per_sec"]
+            if request["decode_tokens_per_sec"] > 0
+            else 0.0
+        )
+        prev = previous.get(case.name, {})
+        prev_tps = prev.get("tokens_per_sec")
+        prev_dtps = prev.get("decode_tokens_per_sec")
         record = {
             "name": case.name,
             "rate_per_s": case.rate_per_s,
@@ -387,18 +517,27 @@ def run_serving_bench(
             "length_dist": case.length_dist,
             "decode_tokens": case.decode_tokens,
             "max_batch_requests": case.max_batch_requests,
+            "decode_heavy": case.decode_heavy,
             "request": request,
             "packed": packed,
             "speedup_tokens_per_sec": speedup,
+            "speedup_decode_tokens_per_sec": decode_speedup,
             "parity": parity,
-            "previous_packed_tokens_per_sec": prev,
+            "previous_packed_tokens_per_sec": prev_tps,
+            "previous_packed_decode_tokens_per_sec": prev_dtps,
             "regression_vs_previous": (
-                prev / packed["tokens_per_sec"]
-                if prev and packed["tokens_per_sec"] > 0
+                prev_tps / packed["tokens_per_sec"]
+                if prev_tps and packed["tokens_per_sec"] > 0
                 else None
             ),
             "regressed": bool(
-                prev and packed["tokens_per_sec"] * REGRESSION_RATIO < prev
+                prev_tps
+                and packed["tokens_per_sec"] * REGRESSION_RATIO < prev_tps
+            ),
+            "decode_regressed": bool(
+                prev_dtps
+                and packed["decode_tokens_per_sec"] * REGRESSION_RATIO
+                < prev_dtps
             ),
         }
         results.append(record)
@@ -407,14 +546,28 @@ def run_serving_bench(
                 f"packed speedup {speedup:.2f}x below floor "
                 f"{SPEEDUP_FLOOR}x on {case.name}"
             )
+        occupancy = packed["mean_decode_occupancy"] or 0.0
+        if (
+            enforce
+            and case.decode_heavy
+            and occupancy >= 4.0
+            and decode_speedup < DECODE_SPEEDUP_FLOOR
+        ):
+            raise ReproError(
+                f"packed decode tokens/sec speedup {decode_speedup:.2f}x "
+                f"below floor {DECODE_SPEEDUP_FLOOR}x on {case.name} "
+                f"(decode occupancy {occupancy:.1f})"
+            )
 
     report = {
-        "schema": "sampleattn-serving-bench/v1",
+        "schema": "sampleattn-serving-bench/v2",
         "scale": scale,
         "seed": seed,
         "model": "glm-mini",
+        "grid": "decode_heavy" if decode_heavy else "default",
         "tolerance": NUMERIC_TOLERANCE,
         "speedup_floor": SPEEDUP_FLOOR,
+        "decode_speedup_floor": DECODE_SPEEDUP_FLOOR,
         "enforced": bool(enforce),
         "kernel_probe_max_abs_err": probe_err,
         "numpy": np.__version__,
@@ -431,10 +584,13 @@ def run_serving_bench(
     return report
 
 
-def run_bench_serving(scale="quick", seed: int = 0) -> list[Table]:
-    """``sampleattn bench-serving``: packed vs per-request + JSON."""
+def run_bench_serving(
+    scale="quick", seed: int = 0, decode_heavy: bool = False
+) -> list[Table]:
+    """``sampleattn bench-serving [--decode-heavy]``: packed vs
+    per-request + JSON."""
     scale_name = scale if isinstance(scale, str) else scale.name
-    report = run_serving_bench(scale_name, seed)
+    report = run_serving_bench(scale_name, seed, decode_heavy=decode_heavy)
     table = Table(
         "Serving bench: packed vs per-request execution (measured billing)",
         [
@@ -495,4 +651,40 @@ def run_bench_serving(scale="quick", seed: int = 0) -> list[Table]:
             int(r["request"]["counters"].get("kernel_gemm_calls", 0)),
             int(r["packed"]["counters"].get("kernel_gemm_calls", 0)),
         )
-    return [table, dispatch]
+    decode = Table(
+        "Serving bench: decode phase (fused batched decode vs per-request)",
+        [
+            "case",
+            "decode_steps",
+            "decode_dispatches",
+            "occupancy",
+            "req_decode_tok/s",
+            "packed_decode_tok/s",
+            "decode_speedup",
+            "req_tpot_p95",
+            "packed_tpot_p95",
+        ],
+        notes=(
+            "decode_dispatches == layers x decode_steps is a hard gate "
+            "(one ragged attention dispatch per layer per batched step); "
+            "occupancy = mean decoding requests per dispatch; decode "
+            f"speedup floor {DECODE_SPEEDUP_FLOOR}x enforced on "
+            "decode-heavy cases at occupancy >= 4; TPOT = decode seconds "
+            "per generated token (p95 across requests)"
+        ),
+    )
+    for r in report["cases"]:
+        p = r["parity"]
+        req, pk = r["request"], r["packed"]
+        decode.add_row(
+            r["name"],
+            p["packed_decode_steps"],
+            p["packed_decode_dispatches"],
+            round(pk["mean_decode_occupancy"] or 0.0, 2),
+            round(req["decode_tokens_per_sec"], 1),
+            round(pk["decode_tokens_per_sec"], 1),
+            round(r["speedup_decode_tokens_per_sec"], 2),
+            round(req["tpot_p95"], 5) if req["tpot_p95"] else "-",
+            round(pk["tpot_p95"], 5) if pk["tpot_p95"] else "-",
+        )
+    return [table, dispatch, decode]

@@ -60,10 +60,10 @@ def _run_fleet(scale="quick", seed: int = 0):
     return run_fleet(scale=scale, seed=seed)
 
 
-def _run_bench_serving(scale="quick", seed: int = 0):
+def _run_bench_serving(scale="quick", seed: int = 0, decode_heavy: bool = False):
     from .bench_serving import run_bench_serving
 
-    return run_bench_serving(scale=scale, seed=seed)
+    return run_bench_serving(scale=scale, seed=seed, decode_heavy=decode_heavy)
 from .methods import METHOD_NAMES, make_backend
 from .tables import Table
 
@@ -1097,11 +1097,27 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(exp_id: str, scale="quick", seed: int = 0) -> list[Table]:
-    """Run one registered experiment and return its tables."""
+def run_experiment(
+    exp_id: str, scale="quick", seed: int = 0, **kwargs
+) -> list[Table]:
+    """Run one registered experiment and return its tables.
+
+    Extra keyword arguments are forwarded only to runners that accept
+    them (e.g. ``decode_heavy`` for ``bench-serving``); passing an
+    option a runner does not understand is a :class:`ConfigError`.
+    """
     if exp_id not in EXPERIMENTS:
         raise ConfigError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         )
     fn, _ = EXPERIMENTS[exp_id]
-    return fn(scale=scale, seed=seed)
+    if kwargs:
+        import inspect
+
+        accepted = inspect.signature(fn).parameters
+        unknown = [k for k in kwargs if k not in accepted]
+        if unknown:
+            raise ConfigError(
+                f"experiment {exp_id!r} does not accept option(s) {unknown}"
+            )
+    return fn(scale=scale, seed=seed, **kwargs)

@@ -26,11 +26,13 @@ from .eviction import (
     LRUBlockPolicy,
     make_eviction_policy,
 )
+from .gather import BatchedKVGather
 from .paged_cache import PagedLayerKVCache
 from .pressure import MEMORY_PRESSURE_LEVELS, MemoryPressureController
 from .sharing import PrefixSharingRegistry, prefix_block_keys
 
 __all__ = [
+    "BatchedKVGather",
     "EVICTION_POLICIES",
     "EvictionPolicy",
     "HeavyHitterPolicy",

@@ -75,7 +75,7 @@ class HeavyHitterPolicy(EvictionPolicy):
         s = len(cache)
         if s <= target_tokens:
             return None
-        scores = cache._acc[:, :s]
+        scores = cache.attention_mass()
         return H2OPolicy(
             budget=target_tokens, recent_fraction=self.recent_fraction
         ).select(scores)
@@ -107,7 +107,7 @@ class LRUBlockPolicy(EvictionPolicy):
             # frees zero blocks is pure churn, so report "cannot shrink".
             return None
         idx = np.arange(s - keep, s, dtype=np.int64)
-        h = cache._acc.shape[0]
+        h = cache.attention_mass().shape[0]
         return [idx.copy() for _ in range(h)]
 
 

@@ -115,6 +115,14 @@ class PagedLayerKVCache:
     def values(self) -> np.ndarray:
         return self._views()[1]
 
+    def attention_mass(self) -> np.ndarray:
+        """Committed per-key attention mass, ``(H_kv, len)``.
+
+        Same surface as :meth:`LayerKVCache.attention_mass`; staged (not
+        yet committed) mass from an in-flight decode step is excluded.
+        """
+        return self._acc[:, : self._len]
+
     def _live_blocks(self) -> list[int]:
         bt = self.arena.block_tokens
         need = (self._len + bt - 1) // bt

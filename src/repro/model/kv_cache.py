@@ -54,6 +54,15 @@ class LayerKVCache:
         """Absolute positions of live entries (monotone increasing)."""
         return self._pos[: self._len]
 
+    def attention_mass(self) -> np.ndarray:
+        """Accumulated per-key attention mass, ``(H_kv, len)``.
+
+        The eviction statistic fed by :meth:`record_attention` -- the
+        public surface heavy-hitter policies rank by (treat it as
+        read-only; it is a view into the accumulator).
+        """
+        return self._acc[:, : self._len]
+
     def _grow(self, needed: int) -> None:
         cap = self._k.shape[1]
         if needed <= cap:

@@ -16,10 +16,10 @@ from ..backends import AttentionBackend
 from ..errors import ModelError
 from .config import ModelConfig
 from .kv_cache import LayerKVCache
-from .rope import apply_rope, rope_cos_sin
+from .rope import apply_rope, apply_rope_batched, rope_cos_sin
 from .weights import LayerWeights
 
-__all__ = ["rms_norm", "gated_mlp", "AttentionLayer"]
+__all__ = ["rms_norm", "gated_mlp", "gated_mlp_rows", "AttentionLayer"]
 
 
 def rms_norm(x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -37,6 +37,24 @@ def gated_mlp(x: np.ndarray, w1: np.ndarray, w2: np.ndarray, w3: np.ndarray) -> 
     return (_silu(x @ w1) * (x @ w3)) @ w2
 
 
+def gated_mlp_rows(
+    x_rows: np.ndarray, w1: np.ndarray, w2: np.ndarray, w3: np.ndarray
+) -> np.ndarray:
+    """Row-batched :func:`gated_mlp` over ``(B, d_model)`` residual rows.
+
+    The three projections stay one GEMM *per row* (a batched M=B GEMM
+    takes a different BLAS accumulation path than M=1, so its rows would
+    not be bitwise equal to per-request decode), while the elementwise
+    SiLU gate runs once over the stacked activations.  Row *b* of the
+    result is bitwise identical to ``gated_mlp(x_rows[b:b+1], ...)``.
+    """
+    n = x_rows.shape[0]
+    a = np.concatenate([x_rows[b : b + 1] @ w1 for b in range(n)], axis=0)
+    c = np.concatenate([x_rows[b : b + 1] @ w3 for b in range(n)], axis=0)
+    g = _silu(a) * c
+    return np.concatenate([g[b : b + 1] @ w2 for b in range(n)], axis=0)
+
+
 class AttentionLayer:
     """One decoder layer's attention: project, rotate, attend, merge.
 
@@ -49,6 +67,7 @@ class AttentionLayer:
         self.config = config
         self.weights = weights
         self._scale = 1.0 / np.sqrt(config.d_head)
+        self._decode_proj: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------- helpers
     def project_qkv(
@@ -119,9 +138,105 @@ class AttentionLayer:
             )
         return out
 
+    def project_qkv_decode_batch(
+        self, x_rows: np.ndarray, cos: np.ndarray, sin: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched single-token :meth:`project_qkv` for fused decode.
+
+        ``x_rows``: ``(B, d_model)`` normalised residual rows, one per
+        decoding request; ``cos``/``sin``: ``(B, n_pairs)`` rotary rows
+        for each request's position (precomputed once per batch step and
+        shared across layers -- the tables depend only on position, so
+        per-request decode recomputing them per layer does 4x the work
+        for bitwise-identical values).  The three projections stay one
+        einsum *per row* (a stacked M=B GEMM takes a different BLAS
+        accumulation path than M=1, breaking bitwise parity with
+        per-request decode), while the rotary rotation and the float32
+        casts -- pure elementwise work -- run once over the stacked batch.
+
+        Returns ``q (B, H, 1, e)``, ``k (B, H_kv, 1, e)``,
+        ``v (B, H_kv, 1, e)``; slice ``[b]`` is bitwise identical to
+        :meth:`project_qkv` on row ``b`` alone.
+
+        The projections bypass ``np.einsum`` dispatch: for ``S = 1`` the
+        optimizer reduces ``sd,hde->hse`` to a tensordot that copies the
+        transposed weight and runs one GEMV per call.  We hoist that copy
+        into a cached ``(H*e, d)`` operand (:meth:`_decode_proj_weights`)
+        and issue the same ``np.dot`` directly -- identical memory layout
+        and BLAS call, so the result stays bitwise equal while skipping
+        ~90% of the per-call overhead that dominates single-token decode.
+        """
+        n = x_rows.shape[0]
+        if x_rows.ndim != 2 or x_rows.shape[1] != self.config.d_model:
+            raise ModelError(f"residual rows shape {x_rows.shape}")
+        h, h_kv = self.config.n_heads, self.config.n_kv_heads
+        e, d = self.config.d_head, self.config.d_model
+        pq, pk, pv = self._decode_proj_weights()
+        cols = [x_rows[b].reshape(d, 1) for b in range(n)]
+        qs = np.stack(
+            [np.dot(pq, c).reshape(h, e, 1).transpose(0, 2, 1) for c in cols]
+        )
+        ks = np.stack(
+            [np.dot(pk, c).reshape(h_kv, e, 1).transpose(0, 2, 1) for c in cols]
+        )
+        vs = np.stack(
+            [np.dot(pv, c).reshape(h_kv, e, 1).transpose(0, 2, 1) for c in cols]
+        )
+        cb = cos[:, None, :]  # (B, S=1, n_pairs)
+        sb = sin[:, None, :]
+        q = apply_rope_batched(qs, cb, sb)
+        k = apply_rope_batched(ks, cb, sb)
+        return (
+            q.astype(np.float32),
+            k.astype(np.float32),
+            vs.astype(np.float32),
+        )
+
+    def _decode_proj_weights(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pre-transposed ``(H*e, d_model)`` projection operands for decode.
+
+        ``np.einsum("sd,hde->hse", x, w, optimize=True)`` at ``S = 1``
+        contracts via ``tensordot(w, x)``, which copies
+        ``w.transpose(0, 2, 1)`` into a fresh C-contiguous ``(H*e, d)``
+        array on *every* call before one GEMV.  Caching that copy keeps
+        the downstream BLAS call -- and therefore the bits -- identical
+        while amortising the transpose across the whole decode.
+        """
+        if self._decode_proj is None:
+            h_e = self.config.n_heads * self.config.d_head
+            g_e = self.config.n_kv_heads * self.config.d_head
+            d = self.config.d_model
+            self._decode_proj = (
+                np.ascontiguousarray(
+                    self.weights.wq.transpose(0, 2, 1).reshape(h_e, d)
+                ),
+                np.ascontiguousarray(
+                    self.weights.wk.transpose(0, 2, 1).reshape(g_e, d)
+                ),
+                np.ascontiguousarray(
+                    self.weights.wv.transpose(0, 2, 1).reshape(g_e, d)
+                ),
+            )
+        return self._decode_proj
+
     def merge_heads(self, attn_out: np.ndarray) -> np.ndarray:
         """``(H, S, e) -> (S, d_model)`` via the output projection."""
         return np.einsum("hse,hed->sd", attn_out, self.weights.wo, optimize=True)
+
+    def merge_heads_decode(self, attn_out: np.ndarray) -> np.ndarray:
+        """``(H, 1, e) -> (1, d_model)``: :meth:`merge_heads` without the
+        einsum dispatch.
+
+        For ``S = 1`` the einsum reduces to flattening heads and one
+        ``(1, H*e) @ (H*e, d_model)`` GEMM against a view of ``wo``; the
+        result is bitwise identical to :meth:`merge_heads` (verified by
+        the decode parity tests) at a fraction of the call overhead.
+        """
+        h, e = self.config.n_heads, self.config.d_head
+        flat = attn_out.transpose(1, 0, 2).reshape(1, h * e)
+        return flat @ self.weights.wo.reshape(h * e, self.config.d_model)
 
     # ------------------------------------------------------------- prefill
     def prefill(

@@ -21,7 +21,13 @@ import numpy as np
 
 from ..errors import ConfigError, ShapeError
 
-__all__ = ["rope_frequencies", "rope_cos_sin", "apply_rope", "relative_kernel"]
+__all__ = [
+    "rope_frequencies",
+    "rope_cos_sin",
+    "apply_rope",
+    "apply_rope_batched",
+    "relative_kernel",
+]
 
 
 def rope_frequencies(
@@ -86,6 +92,47 @@ def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
     x2 = x[..., 1:rot:2]
     out[..., 0:rot:2] = x1 * cos[None] - x2 * sin[None]
     out[..., 1:rot:2] = x1 * sin[None] + x2 * cos[None]
+    return out
+
+
+def apply_rope_batched(
+    x: np.ndarray, cos: np.ndarray, sin: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`apply_rope` over stacked same-shape items.
+
+    Parameters
+    ----------
+    x:
+        ``(B, H, S, d_head)`` stacked query or key tensors.
+    cos, sin:
+        ``(B, S, n_pairs)`` per-item tables (positions differ per item).
+
+    The rotation is pure elementwise arithmetic, so every item's rows are
+    bitwise identical to :func:`apply_rope` on that item alone -- the
+    batched decode path relies on this to fuse the per-request rotary
+    application into one call without perturbing greedy decoding.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"x must be (B, H, S, d_head), got rank {x.ndim}")
+    n_pairs = cos.shape[-1]
+    rot = 2 * n_pairs
+    if rot > x.shape[-1]:
+        raise ShapeError(f"rotary width {rot} exceeds head dim {x.shape[-1]}")
+    if (
+        cos.shape != (x.shape[0], x.shape[2], n_pairs)
+        or sin.shape != cos.shape
+    ):
+        raise ShapeError(
+            f"cos/sin tables {cos.shape}/{sin.shape} do not match "
+            f"(B={x.shape[0]}, S={x.shape[2]})"
+        )
+    cb = cos[:, None]  # (B, 1, S, n_pairs) broadcasts over heads
+    sb = sin[:, None]
+    out = x.copy()
+    x1 = x[..., 0:rot:2]
+    x2 = x[..., 1:rot:2]
+    out[..., 0:rot:2] = x1 * cb - x2 * sb
+    out[..., 1:rot:2] = x1 * sb + x2 * cb
     return out
 
 

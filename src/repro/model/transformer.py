@@ -18,12 +18,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..attention.packed import PackedDecodeItem, packed_decode_attention
 from ..backends import AttentionBackend, FullAttentionBackend
 from ..baselines.h2o import H2OPolicy
 from ..errors import ModelError
 # ModelConfig is reached through weights.config; no direct import needed.
 from .kv_cache import LayerKVCache
-from .layers import AttentionLayer, gated_mlp, rms_norm
+from .layers import AttentionLayer, gated_mlp, gated_mlp_rows, rms_norm
+from .rope import rope_cos_sin
 from .weights import ModelWeights
 
 __all__ = ["GenerationResult", "Transformer"]
@@ -367,8 +369,167 @@ class Transformer:
         if kv_policy is not None:
             for cache in caches:
                 if len(cache) > kv_policy.budget:
-                    cache.evict(kv_policy.select(cache._acc[:, : len(cache)]))
+                    cache.evict(kv_policy.select(cache.attention_mass()))
         return self.logits(x)[0]
+
+    def decode_batch(
+        self,
+        entries: list[tuple],
+        attend_batch=None,
+        *,
+        kv_policy: H2OPolicy | None = None,
+        record_attention: bool = False,
+        on_error=None,
+        gather=None,
+    ) -> list:
+        """Process one decode token from each of several requests.
+
+        The packed-batching quantum of decode serving, mirroring
+        :meth:`prefill_chunk_batch`: ``entries`` is a list of
+        ``(token, position, caches)`` triples, one decoding request each.
+        Per layer, the single-token projections run through
+        :meth:`AttentionLayer.project_qkv_decode_batch` (rotary tables
+        computed once per step and shared across all layers), every live
+        request's KV is appended, and one call to
+        ``attend_batch(layer_index, items)`` computes attention for the
+        whole batch -- ``items`` maps entry index to
+        ``(q, keys, values, scale)`` and the returned dict maps entry
+        index to ``(output, probs_or_None)``.  ``attend_batch`` is
+        invoked exactly ``n_layers`` times per call, even when every
+        entry has been dropped (the serving engine's dispatch-count
+        identity rests on this).  An index absent from the returned dict
+        drops that entry from all remaining layers; ``on_error(entry,
+        layer, exc)`` likewise drops an entry whose cache append raised
+        (the caller rolls the dropped entry's caches back -- staged
+        attention mass is discarded by the rollback ``truncate``).
+        ``gather(layer_index, pairs)`` -- ``pairs`` a list of
+        ``(entry_index, cache)`` -- may override how per-request KV views
+        are materialised (the paged backend batches its block-table
+        gathers through one shared scratch slab); the default reads
+        ``cache.keys`` / ``cache.values`` per entry.
+
+        The default ``attend_batch`` executes the whole batch as one
+        :func:`~repro.attention.packed.packed_decode_attention` dispatch
+        per layer.  With ``record_attention=True`` (or a ``kv_policy``)
+        each layer's attention mass is recorded onto the caches; staged
+        mass is committed only after every layer ran, exactly as
+        :meth:`decode_step` does, so a mid-model failure plus rollback
+        never double-counts a step.
+
+        Returns one entry per input: the token's ``(vocab,)`` logits, or
+        ``None`` for dropped entries.  Survivor logits -- and therefore
+        greedy next tokens -- are bitwise identical to running
+        :meth:`decode_step` on each request alone.
+        """
+        if not entries:
+            raise ModelError("decode_batch needs at least one entry")
+        for _, _, caches in entries:
+            if len(caches) != self.config.n_layers:
+                raise ModelError("caches must have one entry per layer")
+        n = len(entries)
+        tokens = np.asarray([t for t, _, _ in entries], dtype=np.int64)
+        xb = self.embed(tokens)  # row b bitwise == embed([token_b])
+        positions = np.asarray([p for _, p, _ in entries], dtype=np.int64)
+        # One rotary table for the whole batch step, shared across layers:
+        # rows are independent, so row b is bitwise equal to the
+        # per-(request, layer) table per-request decode recomputes.
+        cos, sin = rope_cos_sin(
+            positions, self.config.rot_dim, self.config.rope_base
+        )
+        pos_arrays = [
+            np.asarray([p], dtype=np.int64) for _, p, _ in entries
+        ]
+        record = record_attention or kv_policy is not None
+        scale = 1.0 / np.sqrt(self.config.d_head)
+
+        if attend_batch is None:
+
+            def attend_batch(layer_index: int, items: dict) -> dict:
+                if not items:
+                    return {}
+                order = list(items)
+                res = packed_decode_attention(
+                    [
+                        PackedDecodeItem(q=q, k=k, v=v, scale=s)
+                        for q, k, v, s in items.values()
+                    ],
+                    return_probs=record,
+                )
+                return {
+                    b: (
+                        res.outputs[j],
+                        res.probs[j] if res.probs is not None else None,
+                    )
+                    for j, b in enumerate(order)
+                }
+
+        live = list(range(n))
+        for i, layer in enumerate(self.layers):
+            items: dict[int, tuple] = {}
+            if live:
+                idx = np.asarray(live, dtype=np.int64)
+                xn = self._norm(xb[idx])
+                qb, kb, vb = layer.project_qkv_decode_batch(
+                    xn, cos[idx], sin[idx]
+                )
+                for j, b in enumerate(list(live)):
+                    cache = entries[b][2][i]
+                    try:
+                        cache.append(kb[j], vb[j], pos_arrays[b])
+                    except Exception as exc:
+                        if on_error is None:
+                            raise
+                        on_error(b, i, exc)
+                        live.remove(b)
+                        continue
+                    items[b] = (qb[j], cache, scale)
+                if gather is None:
+                    kv = {b: (c.keys, c.values) for b, (_, c, _) in items.items()}
+                else:
+                    kv = gather(i, [(b, c) for b, (_, c, _) in items.items()])
+                items = {
+                    b: (q, kv[b][0], kv[b][1], s)
+                    for b, (q, _, s) in items.items()
+                }
+            outs = attend_batch(i, items)
+            if not live:
+                continue
+            deltas = np.zeros_like(xb)
+            for b in list(live):
+                if b not in outs:
+                    live.remove(b)
+                    continue
+                out_b, probs_b = outs[b]
+                if record and probs_b is not None:
+                    entries[b][2][i].record_attention(probs_b)
+                deltas[b] = layer.merge_heads_decode(out_b)[0]
+            xb = xb + deltas
+            lw = layer.weights
+            if lw.mlp_w1 is not None and live:
+                idx = np.asarray(live, dtype=np.int64)
+                mlp = gated_mlp_rows(
+                    self._norm(xb[idx]), lw.mlp_w1, lw.mlp_w2, lw.mlp_w3
+                )
+                add = np.zeros_like(xb)
+                add[idx] = mlp
+                xb = xb + add
+        # Commit staged attention mass only for surviving entries, after
+        # every layer ran (dropped entries' staged mass dies with the
+        # caller's rollback truncate) -- same contract as decode_step.
+        for b in live:
+            for cache in entries[b][2]:
+                commit = getattr(cache, "commit_attention", None)
+                if commit is not None:
+                    commit()
+        if kv_policy is not None:
+            for b in live:
+                for cache in entries[b][2]:
+                    if len(cache) > kv_policy.budget:
+                        cache.evict(kv_policy.select(cache.attention_mass()))
+        results: list = [None] * n
+        for b in live:
+            results[b] = self.logits(xb[b : b + 1])[0]
+        return results
 
     # ------------------------------------------------------------ generate
     def generate(

@@ -50,7 +50,12 @@ import numpy as np
 
 from ..attention.fastpath import KernelWorkspace
 from ..attention.flash import flash_attention
-from ..attention.packed import PackedItem, packed_block_sparse_attention
+from ..attention.packed import (
+    PackedDecodeItem,
+    PackedItem,
+    packed_block_sparse_attention,
+    packed_decode_attention,
+)
 from ..config import DEFAULT_CONFIG, KERNEL_MODES, SampleAttentionConfig
 from ..core.autotune import KernelTuner
 from ..core.profiler import StageProfiler
@@ -63,6 +68,7 @@ from ..errors import (
 )
 from ..memory import (
     EVICTION_POLICIES,
+    BatchedKVGather,
     KVArena,
     MemoryPressureController,
     PagedLayerKVCache,
@@ -548,6 +554,7 @@ class ServingEngine:
         # Paged-KV state; created fresh per run() so same-seed runs (and
         # the chaos drill's bitwise summary comparison) stay identical.
         self._arena: KVArena | None = None
+        self._decode_gather: BatchedKVGather | None = None
         self._sharing: PrefixSharingRegistry | None = None
         self._pressure: MemoryPressureController | None = None
         self.memory_breaker: CircuitBreaker | None = None
@@ -1371,6 +1378,177 @@ class ServingEngine:
             job.decode_left -= 1
         return True
 
+    def _dispatch_packed_decode(
+        self, layer: int, items: dict, record: bool
+    ) -> dict:
+        """One fused decode attention dispatch for every live batched
+        request at one layer.  ``items`` maps batch index to ``(q, keys,
+        values, scale)``; returns batch index -> ``(output, probs)``.
+
+        Counts exactly one ``packed_decode_dispatches`` per call --
+        including the empty-batch call :meth:`Transformer.decode_batch`
+        still makes after every request dropped -- so the engine's
+        ``dispatches == n_layers x steps`` identity is structural, not
+        best-effort.
+        """
+        profiler = self._profiler
+        profiler.count("packed_decode_dispatches", 1)
+        if not items:
+            return {}
+        order = list(items)
+        threads = 1
+        cls = None
+        if self._tuner is not None:
+            cls = self._tuner.decode_shape_class(
+                len(items),
+                max(int(k.shape[1]) for _, k, _, _ in items.values()),
+                self.model.config.n_kv_heads,
+            )
+            threads = self._tuner.choose(cls).num_threads
+        t0 = time.perf_counter()
+        with profiler.stage("attend"):
+            res = packed_decode_attention(
+                [
+                    PackedDecodeItem(q=q, k=k, v=v, scale=s, tag=b)
+                    for b, (q, k, v, s) in items.items()
+                ],
+                return_probs=record,
+                num_threads=threads,
+            )
+        if self._tuner is not None:
+            self._tuner.observe(
+                cls,
+                threads,
+                time.perf_counter() - t0,
+                res.stats["decode_rows"],
+            )
+        profiler.count("packed_decode_requests", res.stats["decode_requests"])
+        profiler.count("packed_decode_kv_tokens", res.stats["kv_tokens"])
+        return {
+            b: (
+                res.outputs[j],
+                res.probs[j] if res.probs is not None else None,
+            )
+            for j, b in enumerate(order)
+        }
+
+    def _run_decode_batch(
+        self, jobs: list[_Job]
+    ) -> list[tuple[float, bool]]:
+        """Execute one decode quantum for each of ``jobs`` as lockstep
+        fused batch steps: per step, every live request's token runs
+        through :meth:`Transformer.decode_batch` -- one packed attention
+        dispatch per layer for the whole batch -- until the longest
+        quantum is exhausted (requests with shorter quanta simply leave
+        the batch early).  Returns ``(virtual seconds, ok)`` per job, in
+        ``jobs`` order.
+
+        Fault isolation mirrors :meth:`_run_packed_step`: a request whose
+        cache append hits :class:`ArenaExhaustedError` mid-step abandons
+        the fused attempt, rolls back that step (caches to their pre-step
+        marks, which discards staged attention mass; the speculative
+        token and billed elements are undone), and replays its *remaining*
+        quantum through the per-request :meth:`_run_decode` -- which owns
+        the pressure ladder, retry counting, and shed decision.  The
+        fused steps' wall time is apportioned by billed-element share.
+        """
+        registry = self._registry
+        cfg = self.model.config
+        n_layers, h_kv = cfg.n_layers, cfg.n_kv_heads
+        record = self._arena is not None
+        quanta = [
+            job.decode_left
+            if self.scheduler.policy == "fcfs"
+            else min(job.decode_left, self.decode_chunk_tokens)
+            for job in jobs
+        ]
+        elements0 = [job.elements for job in jobs]
+        gather = self._decode_gather if self._arena is not None else None
+        #: batch index -> steps of its quantum still owed at abandonment
+        #: (including the rolled-back step itself).
+        aborted: dict[int, int] = {}
+
+        t0 = time.perf_counter()
+        with self._profiler.stage("decode"):
+            for step in range(max(quanta, default=0)):
+                stepping = [
+                    bi
+                    for bi in range(len(jobs))
+                    if quanta[bi] > step and bi not in aborted
+                ]
+                if not stepping:
+                    break
+                marks = {
+                    bi: [len(c) for c in jobs[bi].caches] for bi in stepping
+                }
+                added = {}
+                entries = []
+                for bi in stepping:
+                    job = jobs[bi]
+                    assert job.next_token is not None
+                    job.generated.append(job.next_token)
+                    added[bi] = float(
+                        n_layers * h_kv * (len(job.caches[0]) + 1)
+                    )
+                    job.elements += added[bi]
+                    entries.append((job.next_token, job.position, job.caches))
+
+                def on_append_error(eb, _layer, exc):
+                    if isinstance(exc, ArenaExhaustedError):
+                        registry.inc("arena_exhaustion_events")
+                        if self.memory_breaker is not None:
+                            if self.memory_breaker.record_violation():
+                                registry.inc("memory_breaker_trips")
+                    else:
+                        raise exc
+
+                results = self.model.decode_batch(
+                    entries,
+                    lambda i, items: self._dispatch_packed_decode(
+                        i, items, record
+                    ),
+                    record_attention=record,
+                    on_error=on_append_error,
+                    gather=gather,
+                )
+                self._profiler.count("packed_decode_steps", 1)
+                for j, bi in enumerate(stepping):
+                    job = jobs[bi]
+                    logits = results[j]
+                    if logits is None:
+                        # Abandon the fused attempt for this request: the
+                        # per-request replay below re-runs this step and
+                        # the rest of the quantum under ladder semantics.
+                        for cache, mark in zip(job.caches, marks[bi]):
+                            cache.truncate(mark)
+                        job.generated.pop()
+                        job.elements -= added[bi]
+                        aborted[bi] = quanta[bi] - step
+                        continue
+                    job.next_token = int(np.argmax(logits))
+                    job.position += 1
+                    job.decode_left -= 1
+        wall = time.perf_counter() - t0
+
+        deltas = [
+            max(job.elements - e0, 0.0)
+            for job, e0 in zip(jobs, elements0)
+        ]
+        total = sum(deltas)
+        shares = [
+            d / total if total > 0 else 1.0 / len(jobs) for d in deltas
+        ]
+        results_out: list[tuple[float, bool]] = []
+        for bi, job in enumerate(jobs):
+            partial = self._bill(job, wall * shares[bi])
+            if bi in aborted:
+                seconds, ok = self._run_decode(job, aborted[bi])
+                results_out.append((partial + seconds, ok))
+                continue
+            self._update_kv_peak(job)
+            results_out.append((partial, True))
+        return results_out
+
     # --------------------------------------------------------------- runner
     def reset(self) -> None:
         """Restore fresh-process state: what a worker restart gives you.
@@ -1420,6 +1598,10 @@ class ServingEngine:
             else:
                 n_blocks = self.arena_blocks
             self._arena = KVArena(n_blocks, cfg.n_kv_heads, bt, cfg.d_head)
+            # One slab-backed batched gather per run: fused decode steps
+            # materialise every fragmented cache through one scratch slab
+            # (unfragmented caches stay zero-copy views).
+            self._decode_gather = BatchedKVGather()
             self._sharing = (
                 PrefixSharingRegistry(self._arena)
                 if self.prefix_sharing
@@ -1437,6 +1619,7 @@ class ServingEngine:
             )
         else:
             self._arena = self._sharing = self._pressure = None
+            self._decode_gather = None
             self.memory_breaker = None
         now = 0.0
         idx = 0
@@ -1501,8 +1684,9 @@ class ServingEngine:
             if self.batching == "packed":
                 # One engine step serves a whole co-scheduled batch:
                 # prefill jobs share one packed dispatch per layer, decode
-                # jobs run their per-request quantum, and the virtual
-                # clock advances sequentially in batch order.
+                # jobs share one fused decode dispatch per (layer, step),
+                # and the virtual clock advances sequentially in batch
+                # order.
                 batch = [
                     queue.items[i]
                     for i in self.scheduler.select_batch(
@@ -1525,6 +1709,21 @@ class ServingEngine:
                     if prefill_jobs
                     else {}
                 )
+                decode_jobs = [
+                    j
+                    for j in batch
+                    if id(j) not in packed and j.decode_left > 0
+                ]
+                decoded = (
+                    dict(
+                        zip(
+                            (id(j) for j in decode_jobs),
+                            self._run_decode_batch(decode_jobs),
+                        )
+                    )
+                    if decode_jobs
+                    else {}
+                )
                 for job in batch:
                     tm = job.telemetry
                     if id(job) in packed:  # ran a prefill chunk this step
@@ -1540,15 +1739,8 @@ class ServingEngine:
                             continue
                         if not job.chunks_left:
                             tm.first_token = now
-                    elif job.decode_left > 0:
-                        steps = (
-                            job.decode_left
-                            if self.scheduler.policy == "fcfs"
-                            else min(
-                                job.decode_left, self.decode_chunk_tokens
-                            )
-                        )
-                        seconds, ok = self._run_decode(job, steps)
+                    elif id(job) in decoded:
+                        seconds, ok = decoded[id(job)]
                         now += seconds
                         tm.decode_seconds += seconds
                         if not ok:
@@ -1634,6 +1826,23 @@ class ServingEngine:
             ("plan_cache_poisoned", "poisoned"),
         ):
             registry.inc(name, float(getattr(stats, attr) - stats0[attr]))
+        if self.batching == "packed":
+            # Hard dispatch identity: every fused decode step issued
+            # exactly one packed decode dispatch per layer (empty-batch
+            # layers included).  Always-on -- a violation means the fused
+            # path silently fell back or double-dispatched, which would
+            # invalidate the serving bench's speedup accounting.
+            steps_ct = self._profiler.counts.get("packed_decode_steps", 0)
+            disp_ct = self._profiler.counts.get(
+                "packed_decode_dispatches", 0
+            )
+            expected = self.model.config.n_layers * steps_ct
+            if disp_ct != expected:
+                raise ReproError(
+                    f"packed decode dispatch identity violated: "
+                    f"{disp_ct} dispatches != {self.model.config.n_layers} "
+                    f"layers x {steps_ct} steps"
+                )
         # Kernel execution-path counts are deterministic (unlike timings),
         # so they may join the counters the seeded drills compare.
         for name, value in self._profiler.counts.items():
@@ -1647,11 +1856,13 @@ class ServingEngine:
                 self._sharing.clear()  # registry refs released at shutdown
             assert self._pressure is not None
             assert self.memory_breaker is not None
+            assert self._decode_gather is not None
             memory = {
                 "arena": self._arena.stats(),
                 "sharing": sharing_stats,
                 "pressure": self._pressure.stats(),
                 "memory_breaker_trips": self.memory_breaker.trips,
+                "decode_gather": self._decode_gather.stats(),
             }
             # Deterministic block-accounting counters join the registry so
             # the seeded drills can compare them run to run.

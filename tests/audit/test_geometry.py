@@ -99,6 +99,13 @@ class TestAreaChecks:
         # cross-checks the fused batch against the masked-dense oracle.
         assert "packed" in AUDIT_AREAS
 
+    def test_packed_decode_area_registered(self):
+        # Fused decode batches are held to a *bitwise* bar vs per-request
+        # dense: serving token parity across batching modes rests on it.
+        assert "packed_decode" in AUDIT_AREAS
+        result = run_case(BASE, "packed_decode")
+        assert result.passed and result.divergence == 0.0
+
 
 class TestShrinking:
     def test_shrinks_planted_predicate_to_minimum(self, monkeypatch):

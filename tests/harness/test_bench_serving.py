@@ -31,6 +31,20 @@ def test_case_grids():
     full = serving_bench_cases("full")
     assert len(full) > len(quick)
     assert {c.length_dist for c in quick} == {"uniform", "lognormal"}
+    # Both grids carry decode-heavy cases alongside the prefill mixes.
+    assert any(c.decode_heavy for c in quick)
+    assert any(not c.decode_heavy for c in quick)
+
+
+def test_decode_heavy_only_grid():
+    decode = serving_bench_cases("quick", decode_heavy_only=True)
+    assert decode and all(c.decode_heavy for c in decode)
+    # Decode-heavy means long decodes against short prompts.
+    full_grid = serving_bench_cases("quick")
+    prefill = [c for c in full_grid if not c.decode_heavy]
+    assert min(c.decode_tokens for c in decode) > max(
+        c.decode_tokens for c in prefill
+    )
 
 
 def test_report_schema_gates_and_regression(tmp_path):
@@ -39,7 +53,7 @@ def test_report_schema_gates_and_regression(tmp_path):
         "quick", seed=0, out_path=out, enforce=False, cases=TINY
     )
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "sampleattn-serving-bench/v1"
+    assert on_disk["schema"] == "sampleattn-serving-bench/v2"
     assert report["kernel_probe_max_abs_err"] <= report["tolerance"]
 
     (case,) = report["cases"]
@@ -55,9 +69,24 @@ def test_report_schema_gates_and_regression(tmp_path):
         == parity["n_layers"] * parity["packed_prefill_steps"]
     )
     assert parity["mean_batch_occupancy"] >= 1.0
+    # Decode identity held too: one fused decode dispatch per
+    # (layer, batched decode step).
+    assert parity["packed_decode_steps"] > 0
+    assert (
+        parity["packed_decode_dispatches"]
+        == parity["n_layers"] * parity["packed_decode_steps"]
+    )
+    # Decode-phase metrics are present for both modes.
+    for mode in ("request", "packed"):
+        assert case[mode]["decode_tokens"] > 0
+        assert case[mode]["decode_tokens_per_sec"] > 0
+        assert case[mode]["tpot_p95"] >= case[mode]["tpot_p50"] > 0
+    assert case["packed"]["mean_decode_occupancy"] >= 1.0
+    assert case["speedup_decode_tokens_per_sec"] > 0
     # First run has no trajectory to compare against.
     assert case["previous_packed_tokens_per_sec"] is None
     assert case["regressed"] is False
+    assert case["decode_regressed"] is False
 
     # Second run sees the first run's throughput as the previous point.
     report2 = run_serving_bench(
@@ -68,6 +97,31 @@ def test_report_schema_gates_and_regression(tmp_path):
         case["packed"]["tokens_per_sec"]
     )
     assert case2["regression_vs_previous"] is not None
+    assert case2["previous_packed_decode_tokens_per_sec"] == pytest.approx(
+        case["packed"]["decode_tokens_per_sec"]
+    )
+
+
+def test_v1_baseline_read_compatibly(tmp_path):
+    """A committed v1 BENCH_serving.json (no decode fields) still seeds
+    end-to-end regression tracking; decode baselines are simply absent."""
+    out = tmp_path / "BENCH_serving.json"
+    out.write_text(json.dumps({
+        "schema": "sampleattn-serving-bench/v1",
+        "cases": [{"name": "smoke",
+                   "packed": {"tokens_per_sec": 123.0}}],
+    }))
+    report = run_serving_bench(
+        "quick", seed=0, out_path=out, enforce=False, cases=TINY
+    )
+    (case,) = report["cases"]
+    assert case["previous_packed_tokens_per_sec"] == 123.0
+    assert case["previous_packed_decode_tokens_per_sec"] is None
+    assert case["decode_regressed"] is False
+    # The rewritten file is v2 now.
+    assert json.loads(out.read_text())["schema"] == (
+        "sampleattn-serving-bench/v2"
+    )
 
 
 def test_env_overrides(tmp_path, monkeypatch):

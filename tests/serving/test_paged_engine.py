@@ -93,7 +93,8 @@ class TestMemoryReport:
         assert make_engine(glm_mini).run(reqs).memory == {}
         mem = make_engine(glm_mini, kv_backend="paged").run(reqs).memory
         assert set(mem) == {
-            "arena", "sharing", "pressure", "memory_breaker_trips"
+            "arena", "sharing", "pressure", "memory_breaker_trips",
+            "decode_gather",
         }
         assert mem["arena"]["blocks_in_use"] == 0  # leak-free shutdown
         assert mem["arena"]["peak_blocks_in_use"] > 0
