@@ -69,8 +69,8 @@ TOLERANCE = 2e-5
 
 #: The cross-checked areas, in execution-chain order.
 AUDIT_AREAS = (
-    "kernels", "striped", "pipeline", "serving", "paged", "packed",
-    "packed_decode",
+    "kernels", "striped", "pipeline", "serving", "providers", "paged",
+    "packed", "packed_decode",
 )
 
 _STRIPE_MODES = ("empty", "full", "random")
@@ -234,8 +234,11 @@ def _element_mask(
 
 
 def _plan_element_mask(plan: SparsePlan) -> np.ndarray:
-    """Elementwise oracle mask for a :class:`SparsePlan` execution."""
-    return _element_mask(
+    """Elementwise oracle mask for a :class:`SparsePlan` execution,
+    including any ``extras["bands"]`` diagonal bands the striped kernel
+    covers (a band ``(lo, hi)`` holds elements with ``lo <= row_pos - col
+    < hi``, shared across heads)."""
+    mask = _element_mask(
         plan.n_heads,
         plan.s_q,
         plan.s_k,
@@ -244,6 +247,16 @@ def _plan_element_mask(plan: SparsePlan) -> np.ndarray:
         plan.config.sink_tokens,
         plan.config.dense_last_rows,
     )
+    bands = plan.extras.get("bands") or []
+    if bands:
+        offset = plan.s_k - plan.s_q
+        rows = np.arange(plan.s_q, dtype=np.int64)[:, None] + offset
+        cols = np.arange(plan.s_k, dtype=np.int64)[None, :]
+        delta = rows - cols
+        causal = delta >= 0
+        for lo, hi in bands:
+            mask |= (causal & (delta >= lo) & (delta < hi))[None]
+    return mask
 
 
 def _config(case: GeometryCase) -> SampleAttentionConfig:
@@ -473,6 +486,124 @@ def _check_serving(case: GeometryCase) -> CaseResult:
         div,
         "reused plan vs extended-plan oracle",
         checks=2,
+    )
+
+
+def _check_providers(case: GeometryCase) -> CaseResult:
+    """Every plan provider's plan -> execute pipeline vs the masked-dense
+    oracle, plus the ``PlanCache.get``/``extended`` serving-reuse path on
+    the ragged grown geometry -- one area holding the whole provider zoo
+    to the same bar as the default planner."""
+    from ..config import PLAN_PROVIDER_NAMES
+    from ..core.providers import make_provider
+
+    q, k, v = _qkv(case)
+    worst, worst_detail, checks = 0.0, "", 0
+    for name in PLAN_PROVIDER_NAMES:
+        cfg = _config(case).replace(provider=name)
+        # Fresh instance per case: stateful providers must not leak
+        # profiles across fuzz cases (determinism of the campaign).
+        provider = make_provider(name)
+        plan = provider.plan(q, k, cfg)
+        checks += 1
+        if not plan.validate():
+            return CaseResult(
+                "providers",
+                False,
+                float("inf"),
+                f"{name}: fresh plan fails validate()",
+                checks=checks,
+            )
+
+        striped_out = sample_attention(q, k, v, cfg, plan=plan).output
+        oracle = dense_attention(q, k, v, mask=_plan_element_mask(plan)).output
+        div = _divergence(striped_out, oracle)
+        checks += 1
+        if div > worst:
+            worst, worst_detail = div, f"{name}: striped vs oracle"
+
+        block_out = sample_attention(
+            q, k, v, cfg, plan=plan, execution="block"
+        ).output
+        block_oracle = dense_attention(
+            q, k, v, mask=plan.to_block_mask().to_dense()
+        ).output
+        div = _divergence(block_out, block_oracle)
+        checks += 1
+        if div > worst:
+            worst, worst_detail = div, f"{name}: block vs oracle"
+
+        if case.s_k < 2:
+            continue
+        # Serving reuse: plan at the half prefix, reuse through the cache
+        # at the grown ragged geometry (s_q < s_k), execute, compare.
+        rng = np.random.default_rng(case.seed + 7)
+        q_full = rng.standard_normal(
+            (case.h, case.s_k, case.d), dtype=np.float32
+        )
+        k_full = rng.standard_normal(
+            (case.h_kv, case.s_k, case.d), dtype=np.float32
+        )
+        v_full = rng.standard_normal(
+            (case.h_kv, case.s_k, case.d), dtype=np.float32
+        )
+        s_k0 = max(1, case.s_k // 2)
+        plan0 = make_provider(name).plan(
+            q_full[:, :s_k0], k_full[:, :s_k0], cfg
+        )
+        cache = PlanCache(replan_interval=4)
+        cache.put(0, 0, plan0, chunk_index=0)
+        s_q1 = case.s_k - s_k0
+        plan1 = cache.get(0, 0, chunk_index=1, s_q=s_q1, s_k=case.s_k)
+        checks += 1
+        if plan1 is None:
+            try:
+                ext = plan0.extended(s_q=s_q1, s_k=case.s_k)
+            except ConfigError:
+                ext = None
+            if ext is not None and ext.validate(s_k=case.s_k):
+                return CaseResult(
+                    "providers",
+                    False,
+                    float("inf"),
+                    f"{name}: cache missed a valid grown-geometry reuse",
+                    checks=checks,
+                )
+            continue  # honest miss: extended plan genuinely invalid
+        if not plan1.validate(s_k=case.s_k):
+            return CaseResult(
+                "providers",
+                False,
+                float("inf"),
+                f"{name}: extended plan fails validate()",
+                checks=checks,
+            )
+        out = sample_attention(
+            q_full[:, s_k0:], k_full, v_full, cfg, plan=plan1
+        ).output
+        reuse_oracle = dense_attention(
+            q_full[:, s_k0:], k_full, v_full, mask=_plan_element_mask(plan1)
+        ).output
+        div = _divergence(out, reuse_oracle)
+        checks += 1
+        if div > worst:
+            worst, worst_detail = div, f"{name}: reused plan vs oracle"
+        again = cache.get(0, 0, chunk_index=1, s_q=plan0.s_q, s_k=plan0.s_k)
+        checks += 1
+        if again is not plan0:
+            return CaseResult(
+                "providers",
+                False,
+                float("inf"),
+                f"{name}: unchanged-geometry hit is not the original plan",
+                checks=checks,
+            )
+    return CaseResult(
+        "providers",
+        worst <= TOLERANCE,
+        worst,
+        worst_detail or "all providers agree",
+        checks=checks,
     )
 
 
@@ -769,6 +900,7 @@ _CHECKERS = {
     "striped": _check_striped,
     "pipeline": _check_pipeline,
     "serving": _check_serving,
+    "providers": _check_providers,
     "paged": _check_paged,
     "packed": _check_packed,
     "packed_decode": _check_packed_decode,

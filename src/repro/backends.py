@@ -79,7 +79,13 @@ class FullAttentionBackend(AttentionBackend):
 
 
 class SampleAttentionBackend(AttentionBackend):
-    """The paper's method: adaptive structured sparse prefill attention."""
+    """The paper's method: adaptive structured sparse prefill attention.
+
+    When ``config.provider`` names a non-default plan provider, the backend
+    holds one persistent :class:`~repro.core.providers.PlanProvider`
+    instance for its lifetime, so stateful providers (MInference's offline
+    head profiles) amortise their profiling across layers and requests.
+    """
 
     name = "sample_attention"
 
@@ -104,14 +110,23 @@ class SampleAttentionBackend(AttentionBackend):
         self.plans: list = []
         self.execution = execution
         self._workspace = KernelWorkspace() if execution == "block" else None
+        self._provider = None
+        if config.provider != "sample":
+            from .core.providers import make_provider
+
+            self._provider = make_provider(config.provider)
 
     def prefill(self, q, k, v, *, scale=None, layer=0):
+        plan = None
+        if self._provider is not None:
+            plan = self._provider.plan(q, k, self.config, scale=scale)
         res = sample_attention(
             q,
             k,
             v,
             self.config,
             scale=scale,
+            plan=plan,
             selection_mode=self.selection_mode,
             reduction=self.reduction,
             execution=self.execution,

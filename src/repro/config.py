@@ -20,7 +20,12 @@ from dataclasses import dataclass
 
 from .errors import ConfigError
 
-__all__ = ["KERNEL_MODES", "SampleAttentionConfig", "DEFAULT_CONFIG"]
+__all__ = [
+    "KERNEL_MODES",
+    "PLAN_PROVIDER_NAMES",
+    "SampleAttentionConfig",
+    "DEFAULT_CONFIG",
+]
 
 #: How the block-sparse executor runs a tile mask.  ``"reference"`` is the
 #: tile-at-a-time kernel (:func:`repro.attention.block_sparse_attention`);
@@ -30,6 +35,17 @@ __all__ = ["KERNEL_MODES", "SampleAttentionConfig", "DEFAULT_CONFIG"]
 #: GIL, so the GEMMs overlap).  Defined here rather than in
 #: :mod:`repro.attention` so config validation stays import-cycle free.
 KERNEL_MODES = ("reference", "fast", "parallel")
+
+#: Which pattern planner produces the :class:`~repro.core.SparsePlan` a
+#: config executes.  ``"sample"`` is the paper's two-stage SampleAttention
+#: planner; ``"minference"`` profiles each head offline into a static
+#: pattern class (A-shape / vertical-slash / block, MInference 1.0) and
+#: only re-indexes the dynamic offsets at serving time; ``"vertical_slash"``
+#: is the AnchorAttention/VSPrefill-style difference-aware vertical +
+#: slash planner.  Implementations live in :mod:`repro.core.providers`;
+#: the names are defined here so config validation stays import-cycle
+#: free.
+PLAN_PROVIDER_NAMES = ("sample", "minference", "vertical_slash")
 
 
 def _check_unit_interval(name: str, value: float, *, open_left: bool = True) -> None:
@@ -78,6 +94,12 @@ class SampleAttentionConfig:
         ``"reference"`` is the tile-at-a-time seed kernel the fast path is
         benchmarked against; ``"parallel"`` adds a thread pool over query
         blocks.  Outputs agree to float32 tolerance in every mode.
+    provider:
+        Which plan provider produces the :class:`~repro.core.SparsePlan`
+        this config executes: one of :data:`PLAN_PROVIDER_NAMES`.
+        ``"sample"`` (default) is the paper's two-stage planner; the
+        alternatives come from the related work and flow through the same
+        plan/execute/cache machinery (see ``docs/PROVIDERS.md``).
     """
 
     alpha: float = 0.95
@@ -89,6 +111,7 @@ class SampleAttentionConfig:
     dense_last_rows: int = 0
     sample_from_end: bool = True
     kernel_mode: str = "fast"
+    provider: str = "sample"
 
     def __post_init__(self) -> None:
         _check_unit_interval("alpha", self.alpha)
@@ -110,6 +133,11 @@ class SampleAttentionConfig:
             raise ConfigError(
                 f"kernel_mode must be one of {KERNEL_MODES}, "
                 f"got {self.kernel_mode!r}"
+            )
+        if self.provider not in PLAN_PROVIDER_NAMES:
+            raise ConfigError(
+                f"provider must be one of {PLAN_PROVIDER_NAMES}, "
+                f"got {self.provider!r}"
             )
 
     def window_size(self, seq_len: int) -> int:

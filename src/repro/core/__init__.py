@@ -19,6 +19,15 @@ from .diagonal import (
 from .filtering import PAPER_PREFIX_RATIOS, FilterResult, select_kv_indices
 from .plan import SparsePlan
 from .profiler import ProfilingReport, StageProfiler, profile_hyperparameters
+from .providers import (
+    HEAD_PATTERNS,
+    MInferenceProvider,
+    PlanProvider,
+    SampleAttentionProvider,
+    VerticalSlashProvider,
+    make_provider,
+    plan_with_provider,
+)
 from .sample_attention import (
     SampleAttentionResult,
     plan_sample_attention,
@@ -41,6 +50,13 @@ __all__ = [
     "FilterResult",
     "select_kv_indices",
     "SparsePlan",
+    "HEAD_PATTERNS",
+    "PlanProvider",
+    "SampleAttentionProvider",
+    "MInferenceProvider",
+    "VerticalSlashProvider",
+    "make_provider",
+    "plan_with_provider",
     "SampleAttentionResult",
     "plan_sample_attention",
     "sample_attention",

@@ -50,6 +50,13 @@ class SparsePlan:
         The hyperparameters that produced this plan.
     s_q, s_k:
         Geometry of the attention call.
+    planned_s_k:
+        Key-prefix length the plan was *originally* computed at.  ``None``
+        (the default) means this plan has not been re-geometried, so the
+        planning length is ``s_k`` itself; :meth:`extended` carries the
+        original value forward so serving-time validation can distinguish
+        "legally clamped at a tiny planning prefix" from "structurally
+        short".
     """
 
     kv_indices: list[np.ndarray]
@@ -61,6 +68,12 @@ class SparsePlan:
     s_q: int
     s_k: int
     extras: dict = field(default_factory=dict)
+    planned_s_k: int | None = None
+
+    @property
+    def planning_s_k(self) -> int:
+        """Key-prefix length stage 2 actually saw when selecting stripes."""
+        return self.s_k if self.planned_s_k is None else self.planned_s_k
 
     @property
     def n_heads(self) -> int:
@@ -85,7 +98,18 @@ class SparsePlan:
         )
 
     def element_density(self) -> float:
-        """Predicted fraction of dense-causal score elements computed."""
+        """Predicted fraction of dense-causal score elements computed.
+
+        Defined for right-aligned prefill geometry (``s_q <= s_k``); a plan
+        claiming more queries than keys has no causal element count to
+        normalise by, so that is a :class:`~repro.errors.ConfigError`
+        rather than a garbage (negative) density.
+        """
+        if self.s_q > self.s_k:
+            raise ConfigError(
+                f"element_density requires s_q <= s_k, got s_q={self.s_q} "
+                f"> s_k={self.s_k}"
+            )
         offset = self.s_k - self.s_q
         total = int(np.sum(np.arange(self.s_q, dtype=np.int64) + offset + 1))
         if total == 0:
@@ -104,6 +128,12 @@ class SparsePlan:
         re-normalised -- which is what the serving plan cache hands out
         between replans.  When the geometry is unchanged, the plan itself is
         returned (cache hits on an unchanged prefix are bitwise-exact).
+
+        Diagonal bands in ``extras["bands"]`` are *re-clipped* to the
+        planning-time distance range ``[0, planning_s_k)``: the detector
+        only ever observed distances below the planned prefix length, so a
+        band reaching past it carries no evidence and must not start
+        covering elements just because the prefix grew.
         """
         if s_q < 0 or s_k < self.s_k:
             raise ConfigError(
@@ -115,6 +145,13 @@ class SparsePlan:
         kv_ratio = np.asarray(
             [ix.size / max(s_k, 1) for ix in self.kv_indices], dtype=np.float64
         )
+        extras = dict(self.extras)
+        if extras.get("bands"):
+            extras["bands"] = [
+                (max(int(lo), 0), min(int(hi), self.planning_s_k))
+                for lo, hi in extras["bands"]
+                if max(int(lo), 0) < min(int(hi), self.planning_s_k)
+            ]
         return SparsePlan(
             kv_indices=self.kv_indices,
             window=max(self.config.window_size(s_k), 1),
@@ -124,7 +161,8 @@ class SparsePlan:
             config=self.config,
             s_q=s_q,
             s_k=s_k,
-            extras=dict(self.extras),
+            extras=extras,
+            planned_s_k=self.planning_s_k,
         )
 
     def validate(self, *, s_k: int | None = None) -> bool:
@@ -152,8 +190,14 @@ class SparsePlan:
             arr = np.asarray(ix)
             if arr.ndim != 1 or not np.issubdtype(arr.dtype, np.integer):
                 return False
-            if arr.size < min(self.config.min_keep, sk):
-                return False  # stage 2 clamps min_keep to s_k; mirror that
+            if arr.size < min(self.config.min_keep, self.planning_s_k, sk):
+                # Stage 2 clamps min_keep to the *planning-time* prefix
+                # length: a plan legally built at a tiny prefix keeps its
+                # clamped stripe set when the prefix later outgrows
+                # min_keep, so the floor must follow the planned s_k, not
+                # the extended one (else every early-chunk plan is
+                # spuriously invalidated on cache reuse).
+                return False
             if arr.size and (arr[0] < 0 or arr[-1] >= sk):
                 return False
             if arr.size > 1 and (np.diff(arr) <= 0).any():

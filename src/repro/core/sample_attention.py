@@ -183,15 +183,26 @@ def sample_attention(
     if execution not in ("striped", "block"):
         raise ConfigError(f"unknown execution mode {execution!r}")
     if plan is None:
-        plan = plan_sample_attention(
-            q,
-            k,
-            config,
-            scale=scale,
-            selection_mode=selection_mode,
-            reduction=reduction,
-            profiler=profiler,
-        )
+        if config.provider != "sample":
+            # Route one-shot planning through the configured provider.
+            # Long-lived callers (backends, the serving engine) hold their
+            # own provider instance so stateful providers keep their
+            # offline head profiles across calls.
+            from .providers import plan_with_provider
+
+            plan = plan_with_provider(
+                q, k, config, scale=scale, profiler=profiler
+            )
+        else:
+            plan = plan_sample_attention(
+                q,
+                k,
+                config,
+                scale=scale,
+                selection_mode=selection_mode,
+                reduction=reduction,
+                profiler=profiler,
+            )
     with profiler.stage("attend") if profiler else nullcontext():
         if execution == "striped":
             kernel = striped_attention(

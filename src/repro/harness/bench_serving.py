@@ -9,11 +9,15 @@ once with ``batching="packed"`` (one
 :func:`~repro.attention.packed.packed_decode_attention` dispatch per
 (layer, decode step) across all decoding requests) -- and writes
 ``BENCH_serving.json`` at the repo root (schema
-``sampleattn-serving-bench/v2``; the regression reader still accepts v1
+``sampleattn-serving-bench/v3``; the regression reader still accepts v1/v2
 files).  Each case records tokens/sec, TTFT p50/p95, decode-phase TPOT
 p50/p95 (inter-token latency), decode-only tokens/sec, the GEMM/dispatch
-counters, and the packed-over-per-request speedups; beyond the timings,
-every run *gates*:
+counters, the packed-over-per-request speedups, and (v3) a ``providers``
+axis: the packed run repeated under each plan provider
+(:data:`~repro.config.PLAN_PROVIDER_NAMES`) so per-provider tokens/sec
+are tracked per task category -- informational only, the speedup floors
+gate the default provider exclusively.  Beyond the timings, every run
+*gates*:
 
 * **Numeric parity (always on)** -- a deterministic roofline-billed pair
   of runs must agree bitwise on every non-kernel registry counter (plan
@@ -64,7 +68,7 @@ import numpy as np
 
 from ..attention.fastpath import KernelWorkspace, fast_block_sparse_attention
 from ..attention.packed import PackedItem, packed_block_sparse_attention
-from ..config import SampleAttentionConfig
+from ..config import DEFAULT_CONFIG, PLAN_PROVIDER_NAMES, SampleAttentionConfig
 from ..core.sample_attention import plan_sample_attention
 from ..errors import ReproError
 from ..model import build_model
@@ -207,13 +211,18 @@ def _case_workload(case: ServingBenchCase, seed: int) -> list[Request]:
 
 
 def _build_engine(
-    case: ServingBenchCase, seed: int, batching: str, billing: str
+    case: ServingBenchCase,
+    seed: int,
+    batching: str,
+    billing: str,
+    provider: str = "sample",
 ) -> ServingEngine:
     model = build_model("glm-mini", seed=seed)
     autotune = os.environ.get("SAMPLEATTN_BENCH_OUT", "BENCH_kernel.json")
     return ServingEngine(
         model,
         method="sample",
+        config=DEFAULT_CONFIG.replace(provider=provider),
         execution="block",
         kernel_mode="fast",
         chunk_size=256,
@@ -236,11 +245,15 @@ def _percentile(values: list[float], q: float) -> float | None:
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
-def _measure(case: ServingBenchCase, seed: int, batching: str) -> dict:
+def _measure(
+    case: ServingBenchCase, seed: int, batching: str, provider: str = "sample"
+) -> dict:
     """One measured-billing run: wall clock, tokens/sec, TTFT, TPOT,
     decode-only throughput, counters."""
     reqs = _case_workload(case, seed)
-    engine = _build_engine(case, seed, batching, billing="measured")
+    engine = _build_engine(
+        case, seed, batching, billing="measured", provider=provider
+    )
     t0 = time.perf_counter()
     result = engine.run(reqs)
     wall = time.perf_counter() - t0
@@ -506,6 +519,27 @@ def run_serving_bench(
             if request["decode_tokens_per_sec"] > 0
             else 0.0
         )
+        # Provider axis: the same packed measured run under each plan
+        # provider.  Purely informational -- per-provider tokens/sec are
+        # recorded so provider overheads are visible per task category,
+        # but the speedup floors only ever gate the default provider
+        # (provider plans differ in kept-KV footprint by design).
+        providers = {
+            "sample": {
+                "tokens_per_sec": packed["tokens_per_sec"],
+                "decode_tokens_per_sec": packed["decode_tokens_per_sec"],
+                "ttft_p95": packed["ttft_p95"],
+            }
+        }
+        for prov in PLAN_PROVIDER_NAMES:
+            if prov == "sample":
+                continue
+            m = _measure(case, seed, "packed", provider=prov)
+            providers[prov] = {
+                "tokens_per_sec": m["tokens_per_sec"],
+                "decode_tokens_per_sec": m["decode_tokens_per_sec"],
+                "ttft_p95": m["ttft_p95"],
+            }
         prev = previous.get(case.name, {})
         prev_tps = prev.get("tokens_per_sec")
         prev_dtps = prev.get("decode_tokens_per_sec")
@@ -520,6 +554,7 @@ def run_serving_bench(
             "decode_heavy": case.decode_heavy,
             "request": request,
             "packed": packed,
+            "providers": providers,
             "speedup_tokens_per_sec": speedup,
             "speedup_decode_tokens_per_sec": decode_speedup,
             "parity": parity,
@@ -560,7 +595,7 @@ def run_serving_bench(
             )
 
     report = {
-        "schema": "sampleattn-serving-bench/v2",
+        "schema": "sampleattn-serving-bench/v3",
         "scale": scale,
         "seed": seed,
         "model": "glm-mini",
@@ -687,4 +722,24 @@ def run_bench_serving(
             round(req["tpot_p95"], 5) if req["tpot_p95"] else "-",
             round(pk["tpot_p95"], 5) if pk["tpot_p95"] else "-",
         )
-    return [table, dispatch, decode]
+    provider_cols = ["case"] + [
+        f"{p}_tok/s" for p in PLAN_PROVIDER_NAMES
+    ]
+    provider_table = Table(
+        "Serving bench: packed tokens/sec per plan provider",
+        provider_cols,
+        notes=(
+            "same packed measured run under each plan provider "
+            "(config.provider); informational -- the speedup floors gate "
+            "only the default 'sample' provider"
+        ),
+    )
+    for r in report["cases"]:
+        provider_table.add_row(
+            r["name"],
+            *[
+                round(r["providers"][p]["tokens_per_sec"], 1)
+                for p in PLAN_PROVIDER_NAMES
+            ],
+        )
+    return [table, dispatch, decode, provider_table]

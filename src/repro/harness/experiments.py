@@ -503,6 +503,69 @@ def run_table2(scale="quick", seed: int = 0) -> list[Table]:
     return [t]
 
 
+def run_providers(scale="quick", seed: int = 0) -> list[Table]:
+    """Plan-provider zoo: the SampleAttention pipeline under each pattern
+    planner (Table-2-style accuracy per task category plus the plan
+    footprint each provider selects)."""
+    sc = _scale(scale)
+    from ..tasks.longbench import LONGBENCH_CATEGORIES
+    from .methods import PROVIDER_METHODS
+
+    methods = ("full", *PROVIDER_METHODS)
+    t = Table(
+        "Plan providers: accuracy per task category (LongBench + BABILong)",
+        ["model", "method", *LONGBENCH_CATEGORIES, "LB_total", "BABILong"],
+        notes=(
+            "same backend/kernels for every row; only the planner differs "
+            "(sample_attention = two-stage SampleAttention, "
+            "sample_minference = static per-head patterns, sample_vslash = "
+            "difference-aware vertical-slash); 'full' is the dense anchor"
+        ),
+    )
+    for model_name in sc.models:
+        results = _run_suites(model_name, methods, sc, seed)
+        for method in methods:
+            r = results[method]
+            t.add_row(
+                model_name,
+                method,
+                *[
+                    round(r["longbench"].get(c, 0.0), 1)
+                    for c in LONGBENCH_CATEGORIES
+                ],
+                round(r["longbench_total"], 1),
+                round(r["babilong_total"], 1),
+            )
+
+    footprint = Table(
+        "Plan providers: selected footprint on a seeded random prefill",
+        ["method", "seq_len", "density", "mean_kv_ratio", "window", "rows"],
+        notes=(
+            "density = fraction of dense-causal score elements the plan "
+            "executes; mean_kv_ratio = mean per-head stripe kept-ratio"
+        ),
+    )
+    rng = np.random.default_rng(seed)
+    s = int(max(sc.sparsity_lengths))
+    h, dh = 2, 16
+    q = rng.standard_normal((h, s, dh), dtype=np.float32)
+    k = rng.standard_normal((h, s, dh), dtype=np.float32)
+    v = rng.standard_normal((h, s, dh), dtype=np.float32)
+    for method in PROVIDER_METHODS:
+        backend = make_backend(method, seed=seed)
+        backend.prefill(q, k, v)
+        st = backend.last_stats()
+        footprint.add_row(
+            method,
+            s,
+            round(float(st["density"]), 4),
+            round(float(st["mean_kv_ratio"]), 4),
+            int(st["window"]),
+            int(st["n_sampled_rows"]),
+        )
+    return [t, footprint]
+
+
 def run_table3(scale="quick", seed: int = 0) -> list[Table]:
     """Hyperparameter ablation on glm-mini (Table 3)."""
     sc = _scale(scale)
@@ -1070,7 +1133,11 @@ def run_chaos(scale="quick", seed: int = 0) -> list[Table]:
 EXPERIMENTS = {
     "fig1": (run_fig1, "TTFT overview: attention share and speedups (cost model)"),
     "fig2": (run_fig2, "Sparsity foundations: SD per layer/length/head, patterns, CRA"),
-    "table2": (run_table2, "Accuracy: 6 methods x 2 models on LongBench/BABILong"),
+    "table2": (run_table2, "Accuracy: all methods x 2 models on LongBench/BABILong"),
+    "providers": (
+        run_providers,
+        "Plan-provider zoo: accuracy + plan footprint per pattern planner",
+    ),
     "table3": (run_table3, "Hyperparameter ablation (alpha, r_w, r_row)"),
     "fig4": (run_fig4, "Needle-in-a-Haystack grid per method"),
     "fig5": (run_fig5, "Attention latency + sampling overhead, 8K-96K"),

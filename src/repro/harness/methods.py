@@ -24,16 +24,26 @@ from ..baselines import (
 from ..config import SampleAttentionConfig
 from ..errors import ConfigError
 
-__all__ = ["METHOD_NAMES", "make_backend"]
+__all__ = ["METHOD_NAMES", "PROVIDER_METHODS", "make_backend"]
 
 METHOD_NAMES = (
     "full",
     "sample_attention",
+    "sample_minference",
+    "sample_vslash",
     "bigbird",
     "streaming_llm",
     "hyper_attention",
     "hash_sparse",
 )
+
+#: Method name -> plan-provider name for the SampleAttention-pipeline
+#: methods (all share the backend; only the planner differs).
+PROVIDER_METHODS = {
+    "sample_attention": "sample",
+    "sample_minference": "minference",
+    "sample_vslash": "vertical_slash",
+}
 
 SCALE = 16
 """Length scale factor between the paper's evaluation and the substrate's."""
@@ -56,13 +66,14 @@ def make_backend(
     """
     if name == "full":
         return FullAttentionBackend()
-    if name == "sample_attention":
+    if name in PROVIDER_METHODS:
         return SampleAttentionBackend(
             SampleAttentionConfig(
                 alpha=alpha,
                 r_row=r_row,
                 r_window=r_window,
                 block_size=block_size,
+                provider=PROVIDER_METHODS[name],
             )
         )
     if name == "bigbird":

@@ -3,8 +3,10 @@
 Where :class:`~repro.serving.simulator.ServingSimulator` *bills* roofline
 costs, this engine *runs* the code: every prefill chunk goes through
 :meth:`~repro.model.transformer.Transformer.prefill_chunk` on a real
-:mod:`repro.model` preset, SampleAttention chunks plan via
-:func:`~repro.core.plan_sample_attention` (amortised through a
+:mod:`repro.model` preset, SampleAttention chunks plan via the configured
+:class:`~repro.core.providers.PlanProvider` -- ``config.provider`` selects
+the two-stage SampleAttention planner or one of the related-work pattern
+planners (amortised through a
 :class:`~repro.serving.plan_cache.PlanCache`) and execute via
 :func:`~repro.core.sample_attention`, and decode runs greedy
 :meth:`~repro.model.transformer.Transformer.decode_step` over the populated
@@ -59,7 +61,8 @@ from ..attention.packed import (
 from ..config import DEFAULT_CONFIG, KERNEL_MODES, SampleAttentionConfig
 from ..core.autotune import KernelTuner
 from ..core.profiler import StageProfiler
-from ..core.sample_attention import plan_sample_attention, sample_attention
+from ..core.providers import make_provider
+from ..core.sample_attention import sample_attention
 from ..errors import (
     ArenaExhaustedError,
     ConfigError,
@@ -560,6 +563,10 @@ class ServingEngine:
         self.memory_breaker: CircuitBreaker | None = None
         self._workspace = KernelWorkspace() if execution == "block" else None
         self._profiler = StageProfiler()
+        # Plan provider (config.provider); recreated fresh per run()/reset()
+        # so stateful providers (MInference's memoised head profiles) never
+        # leak state across runs and same-seed replays stay bitwise equal.
+        self._provider = make_provider(config.provider)
         # The "widened" ladder rung: double the window and the stage-1
         # sample, quadruple the stripe floor -- cheaper than dense, far more
         # conservative than the tuned plan (the paper's knobs all moved
@@ -777,7 +784,7 @@ class ServingEngine:
             rid, i, chunk_index=job.chunk_index, s_q=s_q, s_k=s_k
         )
         if plan is None:
-            plan = plan_sample_attention(
+            plan = self._provider.plan(
                 q, keys, cfg, scale=scale, profiler=self._profiler
             )
             self.plan_cache.put(rid, i, plan, chunk_index=job.chunk_index)
@@ -1567,12 +1574,14 @@ class ServingEngine:
             self._workspace = KernelWorkspace()
         self._profiler = StageProfiler()
         self._tuner = self._make_tuner()
+        self._provider = make_provider(self.config.provider)
 
     def run(self, requests: list[Request]) -> EngineResult:
         """Serve the stream; every request ends completed/rejected/shed."""
         registry = MetricsRegistry()
         self._registry = registry
         self._profiler = StageProfiler()  # fresh stage breakdown per run
+        self._provider = make_provider(self.config.provider)
         # Cache stats are cumulative over the engine's lifetime; fold only
         # this run's delta into its registry (a fleet worker serves many
         # single-request runs on one engine).

@@ -53,7 +53,7 @@ def test_report_schema_gates_and_regression(tmp_path):
         "quick", seed=0, out_path=out, enforce=False, cases=TINY
     )
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "sampleattn-serving-bench/v2"
+    assert on_disk["schema"] == "sampleattn-serving-bench/v3"
     assert report["kernel_probe_max_abs_err"] <= report["tolerance"]
 
     (case,) = report["cases"]
@@ -87,6 +87,17 @@ def test_report_schema_gates_and_regression(tmp_path):
     assert case["previous_packed_tokens_per_sec"] is None
     assert case["regressed"] is False
     assert case["decode_regressed"] is False
+    # Provider axis (schema v3): every plan provider has a measured packed
+    # throughput; the default provider's row matches the gated packed run.
+    from repro.config import PLAN_PROVIDER_NAMES
+
+    assert set(case["providers"]) == set(PLAN_PROVIDER_NAMES)
+    assert case["providers"]["sample"]["tokens_per_sec"] == (
+        case["packed"]["tokens_per_sec"]
+    )
+    for prov in PLAN_PROVIDER_NAMES:
+        assert case["providers"][prov]["tokens_per_sec"] > 0
+        assert case["providers"][prov]["decode_tokens_per_sec"] > 0
 
     # Second run sees the first run's throughput as the previous point.
     report2 = run_serving_bench(
@@ -118,9 +129,9 @@ def test_v1_baseline_read_compatibly(tmp_path):
     assert case["previous_packed_tokens_per_sec"] == 123.0
     assert case["previous_packed_decode_tokens_per_sec"] is None
     assert case["decode_regressed"] is False
-    # The rewritten file is v2 now.
+    # The rewritten file is v3 now.
     assert json.loads(out.read_text())["schema"] == (
-        "sampleattn-serving-bench/v2"
+        "sampleattn-serving-bench/v3"
     )
 
 

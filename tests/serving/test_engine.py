@@ -176,13 +176,22 @@ class TestGracefulDegradation:
 
         import repro.serving.engine as engine_mod
 
-        real_plan = engine_mod.plan_sample_attention
+        real_make = engine_mod.make_provider
 
-        def corrupt_plan(*args, **kwargs):
-            plan = real_plan(*args, **kwargs)
-            return dataclasses.replace(plan, window=0)  # fails validate()
+        def corrupt_provider(name):
+            real = real_make(name)
 
-        monkeypatch.setattr(engine_mod, "plan_sample_attention", corrupt_plan)
+            class Corrupt:
+                name = real.name
+
+                def plan(self, *args, **kwargs):
+                    plan = real.plan(*args, **kwargs)
+                    # window=0 fails validate()
+                    return dataclasses.replace(plan, window=0)
+
+            return Corrupt()
+
+        monkeypatch.setattr(engine_mod, "make_provider", corrupt_provider)
         engine = make_engine(glm_mini)
         result = engine.run(burst(n=1, decode_tokens=1))
         summ = result.summary()

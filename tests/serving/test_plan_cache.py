@@ -66,6 +66,87 @@ class TestSparsePlanExtended:
         assert not nan_ratio.validate()
 
 
+class TestPlanReuseBoundaries:
+    """Regression pins for the plan-reuse boundary fixes: min_keep
+    validation at small planning prefixes, element_density domain, and
+    band re-clipping on extension."""
+
+    def test_min_keep_clamped_plan_reuses_as_hit_not_invalid(self, qkv):
+        """A plan legally built at a tiny prefix (stripes clamped to
+        s_k=8 < min_keep=16) must be a cache *hit* when fetched at
+        s_k=64, not an `invalid` miss replanned every chunk."""
+        q, k, v = qkv
+        cfg = CFG.replace(min_keep=16)
+        plan0 = plan_sample_attention(q[:, :8], k[:, :8], cfg)
+        assert plan0.s_k == 8
+        assert all(ix.size <= 8 for ix in plan0.kv_indices)
+        assert plan0.validate()
+
+        cache = PlanCache(replan_interval=4)
+        cache.put(0, 0, plan0, chunk_index=0)
+        got = cache.get(0, 0, chunk_index=1, s_q=56, s_k=64)
+        assert got is not None, "small-prefix plan spuriously invalidated"
+        assert cache.stats.invalid == 0
+        assert cache.stats.hits == 1
+        assert got.validate(s_k=64)
+        assert got.planning_s_k == 8 and got.s_k == 64
+
+        # Executing the cached extension is bitwise identical to executing
+        # the plan's own extension directly -- reuse changes nothing.
+        out_cached = sample_attention(
+            q[:, 8:64], k[:, :64], v[:, :64], cfg, plan=got
+        ).output
+        out_direct = sample_attention(
+            q[:, 8:64], k[:, :64], v[:, :64], cfg,
+            plan=plan0.extended(s_q=56, s_k=64),
+        ).output
+        assert np.array_equal(out_cached, out_direct)
+
+    def test_min_keep_still_enforced_at_planning_length(self, plan):
+        """The floor still rejects genuinely short stripe sets: fewer
+        stripes than min_keep at the *planning* length stays invalid."""
+        short = [np.arange(2, dtype=np.int64)] * plan.n_heads
+        bad = dataclasses.replace(
+            plan,
+            kv_indices=short,
+            config=plan.config.replace(min_keep=8),
+        )
+        assert not bad.validate()
+
+    def test_element_density_rejects_more_queries_than_keys(self, plan):
+        """s_q > s_k has no causal element count to normalise by; the old
+        code returned garbage (negative offsets), now it raises."""
+        bad = dataclasses.replace(plan, s_q=plan.s_k + 5)
+        with pytest.raises(ConfigError):
+            bad.element_density()
+
+    def test_extended_reclips_bands_to_planning_prefix(self, plan):
+        """Diagonal bands detected at the planned geometry carry no
+        evidence past the planned prefix: extension clips a reaching band
+        to [0, planning_s_k) and drops one entirely beyond it."""
+        banded = dataclasses.replace(
+            plan,
+            extras={
+                "bands": [
+                    (2, plan.s_k + 40),          # reaches past the prefix
+                    (plan.s_k + 8, plan.s_k + 16),  # entirely beyond it
+                ]
+            },
+        )
+        ext = banded.extended(s_q=32, s_k=plan.s_k + 128)
+        assert ext.extras["bands"] == [(2, plan.s_k)]
+        assert ext.planning_s_k == plan.s_k
+        # A second extension clips against the *original* planning length.
+        ext2 = ext.extended(s_q=16, s_k=plan.s_k + 256)
+        assert ext2.extras["bands"] == [(2, plan.s_k)]
+        assert ext2.planning_s_k == plan.s_k
+
+    def test_extended_keeps_inrange_bands(self, plan):
+        banded = dataclasses.replace(plan, extras={"bands": [(3, 11)]})
+        ext = banded.extended(s_q=32, s_k=plan.s_k + 64)
+        assert ext.extras["bands"] == [(3, 11)]
+
+
 class TestPlanCache:
     def test_rejects_bad_config(self):
         with pytest.raises(ConfigError):
